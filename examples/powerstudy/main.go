@@ -1,0 +1,77 @@
+// Powerstudy: explore the DVFS side of the paper — how Algorithm 2's
+// dense packing plus min-frequency slack compares against the baseline's
+// always-fmax cores, across allocation policies and user counts, using the
+// MPSoC power model directly (no video encoding; thread demands are
+// synthetic, which is exactly what the scheduler sees from the LUT).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/mpsoc"
+	"repro/internal/sched"
+)
+
+func main() {
+	platform := mpsoc.XeonE5_2667V4()
+	slot := time.Second / 24
+
+	// Each user: 4 tile threads with heterogeneous CPU times (measured at
+	// fmax), roughly one core's worth of work in total.
+	mkUsers := func(n int) []sched.UserDemand {
+		var users []sched.UserDemand
+		for u := 0; u < n; u++ {
+			base := 6 + time.Duration(u%3)*2 // 6, 8, 10 ms
+			users = append(users, sched.UserDemand{User: u, Threads: []sched.Thread{
+				{User: u, Tile: 0, TimeFmax: base * time.Millisecond},
+				{User: u, Tile: 1, TimeFmax: (base + 4) * time.Millisecond},
+				{User: u, Tile: 2, TimeFmax: (base / 2) * time.Millisecond},
+				{User: u, Tile: 3, TimeFmax: (base + 10) * time.Millisecond},
+			}})
+		}
+		return users
+	}
+
+	policies := []struct {
+		name  string
+		alloc func(sched.Input) (*sched.Result, error)
+	}{
+		{"Algorithm 2 (dense + DVFS)", sched.AllocateContentAware},
+		{"baseline [19] (1 tile/core @fmax)", sched.AllocateBaseline},
+		{"greedy least-loaded", sched.AllocateGreedyLeastLoaded},
+		{"round robin", sched.AllocateRoundRobin},
+	}
+
+	fmt.Printf("%-34s", "users:")
+	counts := []int{2, 4, 6, 8}
+	for _, n := range counts {
+		fmt.Printf("%10d", n)
+	}
+	fmt.Println()
+	for _, p := range policies {
+		fmt.Printf("%-34s", p.name)
+		for _, n := range counts {
+			res, err := p.alloc(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := platform.SimulateSlot(res.Plans, slot)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %5.1f W ", rep.AvgPowerW)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ncores used at 6 users:")
+	for _, p := range policies {
+		res, err := p.alloc(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(6)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %-34s %d cores, %d users admitted\n", p.name, res.CoresUsed, len(res.Admitted))
+	}
+}

@@ -1,0 +1,82 @@
+// Telemedicine: the paper's motivating scenario — a hospital server
+// transcoding many diagnostic videos online for doctors on mobile devices.
+// A saturated queue of users competes for the 32-core platform; Algorithm 2
+// admits as many as fit, allocates their tile threads to cores and sets
+// frequencies; the same queue under the baseline [19] admits fewer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/medgen"
+	"repro/internal/mpsoc"
+	"repro/internal/sched"
+)
+
+func main() {
+	const queueLen = 12
+
+	// Two servers over the same platform: the proposed Algorithm 2 and
+	// the baseline one-tile-per-core policy of [19].
+	for _, setup := range []struct {
+		name  string
+		mode  core.Mode
+		alloc core.AllocatorFunc
+	}{
+		{"proposed (Algorithm 2)", core.ModeProposed, sched.AllocateContentAware},
+		{"baseline [19]", core.ModeBaseline, sched.AllocateBaseline},
+	} {
+		srv, err := core.NewServer(core.ServerConfig{
+			Platform:  mpsoc.XeonE5_2667V4(),
+			FPS:       24,
+			Allocator: setup.alloc,
+			Workers:   2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Users request a mix of studies: brains, chests, bones...
+		classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
+		for i := 0; i < queueLen; i++ {
+			vc := medgen.Default()
+			vc.Width, vc.Height = 320, 240 // keep the example quick
+			vc.Frames = 16
+			vc.Class = classes[i%len(classes)]
+			vc.Seed = int64(i + 1)
+			gen, err := medgen.NewGenerator(vc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src, err := core.SourceFromGenerator(gen, vc.Frames, vc.FPS, vc.Class.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := core.DefaultSessionConfig()
+			cfg.Mode = setup.mode
+			cfg.Retile.MinTileW, cfg.Retile.MinTileH = 48, 48
+			cfg.BaselineTiles = 4
+			if _, err := srv.AddSession(src, cfg); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		out, err := srv.ServeGOP()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", setup.name)
+		fmt.Printf("admitted %d/%d users, %d cores in use, %.1f W average\n",
+			len(out.AdmittedUsers), queueLen, out.Allocation.CoresUsed, out.Energy.AvgPowerW)
+		for _, id := range out.AdmittedUsers {
+			gop := out.GOPs[id]
+			fmt.Printf("   user %2d (%s): %2d tiles, %.1f dB, %.0f kbps\n",
+				id, srv.Sessions()[id].Config().Mode, gop.Grid.NumTiles(), gop.MeanPSNR, gop.MeanKbps)
+		}
+		if len(out.RejectedUsers) > 0 {
+			fmt.Printf("   waiting: users %v\n", out.RejectedUsers)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tiling"
+	"repro/internal/video"
+)
+
+// TestDecoderSurvivesRandomPayloads feeds pseudo-random bytes as tile
+// payloads: the decoder must either return an error or decode something —
+// never panic or loop. (Malformed input reaching a telemedicine decoder
+// is a when, not an if.)
+func TestDecoderSurvivesRandomPayloads(t *testing.T) {
+	cfg := smallConfig()
+	grid := tiling.MustUniform(128, 96, 2, 2)
+	f := func(seed int64, n uint16, ftypeBit bool) bool {
+		// Deterministic garbage of plausible length.
+		size := int(n%2048) + 1
+		payload := make([]byte, size)
+		s := uint64(seed)
+		for i := range payload {
+			s = s*6364136223846793005 + 1442695040888963407
+			payload[i] = byte(s >> 56)
+		}
+		dec, err := NewDecoder(cfg)
+		if err != nil {
+			return false
+		}
+		ftype := FrameI
+		if ftypeBit {
+			// Give P-frames a reference so parsing proceeds past the check.
+			seq := quickSequence(128, 96)
+			enc, _ := NewEncoder(cfg)
+			_, bs, err := enc.EncodeFrame(seq, grid, uniformParams(4, 30))
+			if err != nil {
+				return false
+			}
+			if _, err := dec.DecodeFrame(bs, grid); err != nil {
+				return false
+			}
+			ftype = FrameP
+		}
+		bs := &Bitstream{Type: ftype, Tiles: [][]byte{payload, payload, payload, payload}}
+		// Must return (decoded or error) without panicking.
+		_, _ = dec.DecodeFrame(bs, grid)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickSequence builds a single structured frame without the medgen
+// dependency weight (content is irrelevant for the fuzz reference).
+func quickSequence(w, h int) *video.Frame {
+	f := video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		row := f.Y.Row(y)
+		for x := range row {
+			row[x] = uint8((x*7 + y*13) % 251)
+		}
+	}
+	return f
+}

@@ -1,0 +1,207 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tiling"
+)
+
+// This file defines the byte-stream container around the per-tile
+// payloads: a sequence header carrying the codec configuration, and one
+// frame unit per picture carrying the frame type, the tile grid geometry
+// and the tile payloads. With it, an encoded sequence round-trips through
+// a single io.Writer/io.Reader — the form a stored bio-medical study would
+// take on the telemedicine server.
+//
+// Layout (all integers little-endian uint32 unless noted):
+//
+//	sequence header:  magic "BMT1" | width | height | fps(×1000) |
+//	                  gopSize | intraPeriod | blockSize | transformSize
+//	frame unit:       marker "FRAM" | frameType | tileCount |
+//	                  { x y w h payloadLen payload } per tile
+//	end of stream:    marker "ENDS"
+//
+// The tile grid travels with every frame because the content-aware
+// re-tiler changes it at GOP boundaries.
+
+var (
+	seqMagic   = [4]byte{'B', 'M', 'T', '1'}
+	frameMagic = [4]byte{'F', 'R', 'A', 'M'}
+	endMagic   = [4]byte{'E', 'N', 'D', 'S'}
+)
+
+// StreamWriter serializes a sequence of encoded frames.
+type StreamWriter struct {
+	w      io.Writer
+	cfg    Config
+	wrote  bool
+	closed bool
+}
+
+// NewStreamWriter validates cfg and writes the sequence header.
+func NewStreamWriter(w io.Writer, cfg Config) (*StreamWriter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sw := &StreamWriter{w: w, cfg: cfg}
+	if err := sw.writeHeader(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *StreamWriter) writeHeader() error {
+	if _, err := sw.w.Write(seqMagic[:]); err != nil {
+		return fmt.Errorf("codec: stream header: %w", err)
+	}
+	fields := []uint32{
+		uint32(sw.cfg.Width), uint32(sw.cfg.Height),
+		uint32(sw.cfg.FPS * 1000),
+		uint32(sw.cfg.GOPSize), uint32(sw.cfg.IntraPeriod),
+		uint32(sw.cfg.BlockSize), uint32(sw.cfg.TransformSize),
+	}
+	for _, f := range fields {
+		if err := binary.Write(sw.w, binary.LittleEndian, f); err != nil {
+			return fmt.Errorf("codec: stream header: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteFrame appends one encoded frame with its grid.
+func (sw *StreamWriter) WriteFrame(bs *Bitstream, grid *tiling.Grid) error {
+	if sw.closed {
+		return fmt.Errorf("codec: write after Close")
+	}
+	if len(bs.Tiles) != len(grid.Tiles) {
+		return fmt.Errorf("codec: %d payloads for %d tiles", len(bs.Tiles), len(grid.Tiles))
+	}
+	if _, err := sw.w.Write(frameMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(sw.w, binary.LittleEndian, uint32(bs.Type)); err != nil {
+		return err
+	}
+	if err := binary.Write(sw.w, binary.LittleEndian, uint32(len(bs.Tiles))); err != nil {
+		return err
+	}
+	for i, tile := range grid.Tiles {
+		for _, v := range []uint32{uint32(tile.X), uint32(tile.Y), uint32(tile.W), uint32(tile.H), uint32(len(bs.Tiles[i]))} {
+			if err := binary.Write(sw.w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		if _, err := sw.w.Write(bs.Tiles[i]); err != nil {
+			return err
+		}
+	}
+	sw.wrote = true
+	return nil
+}
+
+// Close writes the end-of-stream marker. The underlying writer is not
+// closed (the caller owns it).
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	_, err := sw.w.Write(endMagic[:])
+	return err
+}
+
+// StreamReader parses a sequence written by StreamWriter.
+type StreamReader struct {
+	r   io.Reader
+	cfg Config
+}
+
+// NewStreamReader reads and validates the sequence header.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("codec: stream header: %w", err)
+	}
+	if magic != seqMagic {
+		return nil, fmt.Errorf("codec: bad stream magic %q", magic)
+	}
+	var fields [7]uint32
+	for i := range fields {
+		if err := binary.Read(r, binary.LittleEndian, &fields[i]); err != nil {
+			return nil, fmt.Errorf("codec: stream header: %w", err)
+		}
+	}
+	cfg := Config{
+		Width: int(fields[0]), Height: int(fields[1]),
+		FPS:     float64(fields[2]) / 1000,
+		GOPSize: int(fields[3]), IntraPeriod: int(fields[4]),
+		BlockSize: int(fields[5]), TransformSize: int(fields[6]),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("codec: stream header: %w", err)
+	}
+	return &StreamReader{r: r, cfg: cfg}, nil
+}
+
+// Config returns the sequence configuration from the header.
+func (sr *StreamReader) Config() Config { return sr.cfg }
+
+// maxTilePayload bounds a single tile payload against corrupt streams
+// (an uncompressed 640×480 frame is ~460 KB; 16 MB is generous).
+const maxTilePayload = 16 << 20
+
+// ReadFrame reads the next frame unit. It returns io.EOF after the
+// end-of-stream marker.
+func (sr *StreamReader) ReadFrame() (*Bitstream, *tiling.Grid, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(sr.r, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("codec: frame marker: %w", err)
+	}
+	if magic == endMagic {
+		return nil, nil, io.EOF
+	}
+	if magic != frameMagic {
+		return nil, nil, fmt.Errorf("codec: bad frame marker %q", magic)
+	}
+	var ftype, count uint32
+	if err := binary.Read(sr.r, binary.LittleEndian, &ftype); err != nil {
+		return nil, nil, err
+	}
+	if ftype != uint32(FrameI) && ftype != uint32(FrameP) {
+		return nil, nil, fmt.Errorf("codec: bad frame type %d", ftype)
+	}
+	if err := binary.Read(sr.r, binary.LittleEndian, &count); err != nil {
+		return nil, nil, err
+	}
+	if count == 0 || count > 4096 {
+		return nil, nil, fmt.Errorf("codec: implausible tile count %d", count)
+	}
+	bs := &Bitstream{Type: FrameType(ftype)}
+	grid := &tiling.Grid{FrameW: sr.cfg.Width, FrameH: sr.cfg.Height}
+	for i := uint32(0); i < count; i++ {
+		var geo [5]uint32
+		for j := range geo {
+			if err := binary.Read(sr.r, binary.LittleEndian, &geo[j]); err != nil {
+				return nil, nil, err
+			}
+		}
+		if geo[4] > maxTilePayload {
+			return nil, nil, fmt.Errorf("codec: tile payload %d bytes exceeds bound", geo[4])
+		}
+		payload := make([]byte, geo[4])
+		if _, err := io.ReadFull(sr.r, payload); err != nil {
+			return nil, nil, err
+		}
+		grid.Tiles = append(grid.Tiles, tiling.Tile{
+			Rect:  tiling.Rect{X: int(geo[0]), Y: int(geo[1]), W: int(geo[2]), H: int(geo[3])},
+			Index: int(i),
+		})
+		bs.Tiles = append(bs.Tiles, payload)
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("codec: frame grid: %w", err)
+	}
+	return bs, grid, nil
+}

@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/tiling"
+	"repro/internal/video"
+)
+
+func TestStreamRoundTripWholeSequence(t *testing.T) {
+	seq := smallSequence(t, 6)
+	cfg := smallConfig()
+	enc, _ := NewEncoder(cfg)
+
+	// Alternate two grids across GOPs, as the re-tiler would.
+	gridA := tiling.MustUniform(128, 96, 2, 2)
+	gridB := tiling.MustUniform(128, 96, 4, 1)
+
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recons []*video.Frame
+	for i, f := range seq.Frames {
+		grid := gridA
+		if i >= 4 { // GOP size 4: second GOP uses grid B
+			grid = gridB
+		}
+		_, bs, err := enc.EncodeFrame(f, grid, uniformParams(grid.NumTiles(), 30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sw.WriteFrame(bs, grid); err != nil {
+			t.Fatal(err)
+		}
+		recons = append(recons, enc.Reference().Clone())
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Config() != cfg {
+		t.Fatalf("header config %+v != %+v", sr.Config(), cfg)
+	}
+	dec, _ := NewDecoder(sr.Config())
+	n := 0
+	for {
+		bs, grid, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.DecodeFrame(bs, grid)
+		if err != nil {
+			t.Fatalf("frame %d: %v", n, err)
+		}
+		if sad, _ := video.SAD(got.Y, recons[n].Y); sad != 0 {
+			t.Fatalf("frame %d: stream round trip drifted (SAD %d)", n, sad)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("decoded %d frames, want 6", n)
+	}
+}
+
+func TestStreamReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader([]byte("nonsense stream"))); err == nil {
+		t.Fatal("accepted garbage header")
+	}
+	if _, err := NewStreamReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("accepted empty stream")
+	}
+}
+
+func TestStreamReaderRejectsCorruptFrames(t *testing.T) {
+	seq := smallSequence(t, 1)
+	cfg := smallConfig()
+	enc, _ := NewEncoder(cfg)
+	grid := tiling.MustUniform(128, 96, 2, 2)
+	var buf bytes.Buffer
+	sw, _ := NewStreamWriter(&buf, cfg)
+	_, bs, err := enc.EncodeFrame(seq.Frames[0], grid, uniformParams(4, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteFrame(bs, grid); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Truncations at every prefix length must error (or hit clean EOF),
+	// never panic.
+	for cut := 0; cut < len(raw); cut += 7 {
+		sr, err := NewStreamReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			_, _, err := sr.ReadFrame()
+			if err != nil {
+				break
+			}
+		}
+	}
+
+	// Flipping the frame marker must be detected.
+	bad := append([]byte(nil), raw...)
+	copy(bad[32:], "XXXX") // frame marker follows the 32-byte header
+	sr, err := NewStreamReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sr.ReadFrame(); err == nil {
+		t.Fatal("accepted corrupt frame marker")
+	}
+}
+
+func TestStreamWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	bad := smallConfig()
+	bad.Width = 0
+	if _, err := NewStreamWriter(&buf, bad); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+	sw, err := NewStreamWriter(&buf, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := tiling.MustUniform(128, 96, 2, 2)
+	if err := sw.WriteFrame(&Bitstream{Type: FrameI, Tiles: make([][]byte, 3)}, grid); err == nil {
+		t.Fatal("accepted mismatched payload count")
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteFrame(&Bitstream{Type: FrameI, Tiles: make([][]byte, 4)}, grid); err == nil {
+		t.Fatal("accepted write after close")
+	}
+	if err := sw.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/entropy"
+	"repro/internal/motion"
+	"repro/internal/tiling"
+	"repro/internal/transform"
+	"repro/internal/video"
+)
+
+// newRowQuantizer validates a row header QP and builds its quantizer.
+func newRowQuantizer(cfg Config, qp int, ftype FrameType) (*transform.Quantizer, error) {
+	if qp < transform.MinQP || qp > transform.MaxQP {
+		return nil, fmt.Errorf("codec: row QP %d out of range", qp)
+	}
+	return transform.NewQuantizer(cfg.TransformSize, qp, ftype == FrameI)
+}
+
+// This file implements Wavefront Parallel Processing (WPP), the
+// frame-level parallelization scheme the HEVC standard offers alongside
+// tiles (paper Sec. II-C). Each block row is a separately decodable unit
+// (its own payload, prediction state reset at the row start, as CABAC
+// state is in HEVC WPP), and rows encode concurrently under the wavefront
+// dependency: block (r, c) may start once (r, c−1) and (r−1, c+1) are
+// reconstructed. The staircase start-up and wind-down are what limit WPP's
+// concurrency compared with independent tiles — the reason the paper (and
+// this reproduction; see TestWavefrontVsTiles) builds on tiles.
+
+// wppRowState tracks one row's progress for the wavefront dependency.
+type wppRowState struct {
+	// done is the number of completed blocks in the row (atomic).
+	done atomic.Int32
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// EncodeFrameWavefront encodes the frame as one partition parallelized by
+// WPP with up to workers goroutines. The returned Bitstream carries one
+// payload per block row. Stats report one TileStats per row, with
+// EncodeTime the row's own CPU time.
+func (e *Encoder) EncodeFrameWavefront(f *video.Frame, p TileParams, workers int) (*FrameStats, *Bitstream, error) {
+	if f.Width() != e.cfg.Width || f.Height() != e.cfg.Height {
+		return nil, nil, fmt.Errorf("codec: frame %dx%d, encoder configured %dx%d",
+			f.Width(), f.Height(), e.cfg.Width, e.cfg.Height)
+	}
+	ftype := e.cfg.TypeOf(e.frames)
+	if ftype == FrameP && e.ref == nil {
+		return nil, nil, fmt.Errorf("codec: P-frame %d without reference", e.frames)
+	}
+	if ftype == FrameP && p.Searcher == nil {
+		return nil, nil, fmt.Errorf("codec: missing motion searcher for P-frame")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bsz := e.cfg.BlockSize
+	rows := (e.cfg.Height + bsz - 1) / bsz
+	cols := (e.cfg.Width + bsz - 1) / bsz
+
+	recon := video.NewFrame(e.cfg.Width, e.cfg.Height)
+	recon.Number = e.frames
+	frameTile := tiling.Tile{Rect: tiling.Rect{X: 0, Y: 0, W: e.cfg.Width, H: e.cfg.Height}}
+
+	states := make([]*wppRowState, rows)
+	for i := range states {
+		s := &wppRowState{}
+		s.cond = sync.NewCond(&s.mu)
+		states[i] = s
+	}
+	markDone := func(r int) {
+		states[r].done.Add(1)
+		states[r].mu.Lock()
+		states[r].cond.Broadcast()
+		states[r].mu.Unlock()
+	}
+	waitFor := func(r int, n int32) {
+		s := states[r]
+		if s.done.Load() >= n {
+			return
+		}
+		s.mu.Lock()
+		for s.done.Load() < n {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	}
+
+	stats := &FrameStats{Number: e.frames, Type: ftype, Tiles: make([]TileStats, rows)}
+	bs := &Bitstream{Type: ftype, Tiles: make([][]byte, rows)}
+
+	encodeRow := func(r int) error {
+		start := time.Now()
+		w := entropy.NewBitWriter()
+		w.WriteUE(uint32(p.QP))
+		tc, err := newTileCoder(e.cfg, p, frameTile, f.Y, recon.Y, refPlane(e.ref), ftype)
+		if err != nil {
+			return err
+		}
+		by := r * bsz
+		bh := min(bsz, e.cfg.Height-by)
+		for c := 0; c < cols; c++ {
+			// Wavefront dependency: the row above must be two blocks
+			// ahead (so the top and top-right reconstructions exist).
+			if r > 0 {
+				need := int32(c + 2)
+				if need > int32(cols) {
+					need = int32(cols)
+				}
+				waitFor(r-1, need)
+			}
+			bx := c * bsz
+			bw := min(bsz, e.cfg.Width-bx)
+			if err := tc.encodeBlock(w, bx, by, bw, bh); err != nil {
+				return err
+			}
+			markDone(r)
+		}
+		ts := tc.stats
+		ts.Tile = tiling.Tile{Rect: tiling.Rect{X: 0, Y: by, W: e.cfg.Width, H: bh}, Index: r}
+		ts.QP = p.QP
+		ts.Bits = w.Len()
+		ts.PSNR = psnrFromSSE(ts.SSE, e.cfg.Width*bh)
+		ts.EncodeTime = time.Since(start)
+		stats.Tiles[r] = ts
+		bs.Tiles[r] = w.Bytes()
+		return nil
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		rerr error
+	)
+	sem := make(chan struct{}, workers)
+	for r := 0; r < rows; r++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(r int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := encodeRow(r); err != nil {
+				mu.Lock()
+				if rerr == nil {
+					rerr = err
+				}
+				mu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if rerr != nil {
+		return nil, nil, rerr
+	}
+
+	if err := recon.Cb.CopyFrom(f.Cb); err != nil {
+		return nil, nil, err
+	}
+	if err := recon.Cr.CopyFrom(f.Cr); err != nil {
+		return nil, nil, err
+	}
+	var sse int64
+	for _, ts := range stats.Tiles {
+		stats.Bits += ts.Bits
+		stats.EncodeTime += ts.EncodeTime
+		stats.SearchEvals += ts.SearchEvals
+		sse += ts.SSE
+	}
+	stats.PSNR = psnrFromSSE(sse, e.cfg.Width*e.cfg.Height)
+	e.ref = recon
+	e.frames++
+	return stats, bs, nil
+}
+
+// DecodeFrameWavefront decodes a frame encoded by EncodeFrameWavefront.
+// Rows decode sequentially (decoding is cheap; the scheme's value is on
+// the encoder side), with the same per-row prediction-state reset.
+func (d *Decoder) DecodeFrameWavefront(bs *Bitstream) (*video.Frame, error) {
+	if bs.Type == FrameP && d.ref == nil {
+		return nil, fmt.Errorf("codec: P-frame without reference")
+	}
+	bsz := d.cfg.BlockSize
+	rows := (d.cfg.Height + bsz - 1) / bsz
+	if len(bs.Tiles) != rows {
+		return nil, fmt.Errorf("codec: %d row payloads for %d rows", len(bs.Tiles), rows)
+	}
+	recon := video.NewFrame(d.cfg.Width, d.cfg.Height)
+	recon.Number = d.n
+	frameTile := tiling.Tile{Rect: tiling.Rect{X: 0, Y: 0, W: d.cfg.Width, H: d.cfg.Height}}
+	var refY *video.Plane
+	if d.ref != nil {
+		refY = d.ref.Y
+	}
+	for r := 0; r < rows; r++ {
+		rdr := entropy.NewBitReader(bs.Tiles[r])
+		qpU, err := rdr.ReadUE()
+		if err != nil {
+			return nil, fmt.Errorf("row %d header: %w", r, err)
+		}
+		quant, err := newRowQuantizer(d.cfg, int(qpU), bs.Type)
+		if err != nil {
+			return nil, err
+		}
+		by := r * bsz
+		bh := min(bsz, d.cfg.Height-by)
+		lastMV := motion.MV{}
+		for bx := 0; bx < d.cfg.Width; bx += bsz {
+			bw := min(bsz, d.cfg.Width-bx)
+			if err := d.decodeBlock(rdr, quant, refY, recon.Y, frameTile, bs.Type, bx, by, bw, bh, &lastMV); err != nil {
+				return nil, fmt.Errorf("row %d block @%d: %w", r, bx, err)
+			}
+		}
+	}
+	recon.Cb.Fill(128)
+	recon.Cr.Fill(128)
+	d.ref = recon
+	d.n++
+	return recon, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpsoc"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// AllocatorFunc is the pluggable stage-D2 policy; sched provides
+// AllocateContentAware (Algorithm 2), AllocateBaseline ([19]) and the
+// ablation allocators.
+type AllocatorFunc func(sched.Input) (*sched.Result, error)
+
+// ServerConfig parametrizes the multi-user serving loop.
+type ServerConfig struct {
+	Platform *mpsoc.Platform
+	// FPS is the service frame rate (slot = 1/FPS).
+	FPS float64
+	// Allocator is the thread allocation + DVFS policy. Nil selects
+	// Algorithm 2.
+	Allocator AllocatorFunc
+	// Workers bounds per-frame tile parallelism during actual encoding.
+	Workers int
+	// TimeScale calibrates measured host encode times to the simulated
+	// platform: thread CPU-time estimates are multiplied by this factor
+	// before allocation and energy simulation. The paper measured Kvazaar
+	// (2017) on an E5-2667; this repository's leaner Go encoder on a
+	// modern host is substantially faster per frame, so experiments set
+	// TimeScale so that per-user demand lands in the paper's regime
+	// (~1.5–4 cores per user). 0 or 1 disables scaling.
+	TimeScale float64
+}
+
+// Server serves many transcoding sessions on one platform: each GOP it
+// collects the sessions' workload estimates (stage D1), allocates threads
+// to cores and sets frequencies (stage D2), simulates the slot energy, and
+// encodes the admitted sessions' frames.
+type Server struct {
+	cfg      ServerConfig
+	store    *workload.Store
+	sessions []*Session
+}
+
+// NewServer validates and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("core: nil platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FPS <= 0 {
+		return nil, fmt.Errorf("core: non-positive FPS %v", cfg.FPS)
+	}
+	if cfg.Allocator == nil {
+		cfg.Allocator = sched.AllocateContentAware
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	return &Server{cfg: cfg, store: workload.NewStore()}, nil
+}
+
+// Store exposes the per-class workload LUT store (shared across sessions).
+func (s *Server) Store() *workload.Store { return s.store }
+
+// AddSession creates a session for src and registers it. The session
+// shares the workload LUT of its body-part class.
+func (s *Server) AddSession(src FrameSource, cfg SessionConfig) (*Session, error) {
+	cfg.Workers = s.cfg.Workers
+	sess, err := NewSession(len(s.sessions), src, cfg, s.store.ForClass(src.Class()))
+	if err != nil {
+		return nil, err
+	}
+	s.sessions = append(s.sessions, sess)
+	return sess, nil
+}
+
+// Sessions returns the registered sessions.
+func (s *Server) Sessions() []*Session { return s.sessions }
+
+// GOPOutcome describes one served GOP round.
+type GOPOutcome struct {
+	// Allocation is the stage-D2 result over all unfinished sessions.
+	Allocation *sched.Result
+	// Energy is the slot-level platform simulation of the allocation,
+	// replayed over the GOP (GOPSize slots).
+	Energy *mpsoc.SlotReport
+	// GOPs holds the encoding outcome per admitted session (keyed by
+	// session ID).
+	GOPs map[int]*GOPReport
+	// AdmittedUsers and RejectedUsers mirror the allocation.
+	AdmittedUsers, RejectedUsers []int
+}
+
+// ServeGOP runs one full round: estimate → allocate → simulate → encode.
+// Sessions that are finished are skipped; if every session is finished an
+// error is returned.
+func (s *Server) ServeGOP() (*GOPOutcome, error) {
+	var demands []sched.UserDemand
+	active := make(map[int]*Session)
+	for _, sess := range s.sessions {
+		if sess.Finished() {
+			continue
+		}
+		if err := sess.PrepareForEstimation(); err != nil {
+			return nil, fmt.Errorf("core: session %d: %w", sess.ID, err)
+		}
+		threads, err := sess.EstimateThreads()
+		if err != nil {
+			return nil, err
+		}
+		if s.cfg.TimeScale > 0 && s.cfg.TimeScale != 1 {
+			for i := range threads {
+				threads[i].TimeFmax = time.Duration(float64(threads[i].TimeFmax) * s.cfg.TimeScale)
+			}
+		}
+		demands = append(demands, sched.UserDemand{User: sess.ID, Threads: threads})
+		active[sess.ID] = sess
+	}
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("core: no active sessions")
+	}
+
+	alloc, err := s.cfg.Allocator(sched.Input{
+		Platform: s.cfg.Platform,
+		FPS:      s.cfg.FPS,
+		Users:    demands,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	slot := time.Duration(float64(time.Second) / s.cfg.FPS)
+	energy, err := s.cfg.Platform.SimulateSlot(alloc.Plans, slot)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &GOPOutcome{
+		Allocation:    alloc,
+		Energy:        energy,
+		GOPs:          make(map[int]*GOPReport, len(alloc.Admitted)),
+		AdmittedUsers: alloc.Admitted,
+		RejectedUsers: alloc.Rejected,
+	}
+	for _, id := range alloc.Admitted {
+		sess := active[id]
+		gop, err := sess.EncodeGOP()
+		if err != nil {
+			return nil, fmt.Errorf("core: session %d: %w", id, err)
+		}
+		out.GOPs[id] = gop
+	}
+	return out, nil
+}
+
+// ServeAll runs ServeGOP until every session finishes or maxRounds is
+// reached, returning all outcomes. Sessions rejected in one round compete
+// again in the next (the paper's saturated-queue regime keeps the rejected
+// users waiting).
+func (s *Server) ServeAll(maxRounds int) ([]*GOPOutcome, error) {
+	var outs []*GOPOutcome
+	for round := 0; round < maxRounds; round++ {
+		done := true
+		for _, sess := range s.sessions {
+			if !sess.Finished() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return outs, nil
+		}
+		out, err := s.ServeGOP()
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, out)
+		if len(out.AdmittedUsers) == 0 {
+			return outs, fmt.Errorf("core: no user admitted in round %d — demands exceed platform", round)
+		}
+	}
+	return outs, nil
+}

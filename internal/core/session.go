@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/codec"
+	"repro/internal/motion"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/tiling"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// Mode selects the transcoding strategy of a session.
+type Mode int
+
+const (
+	// ModeProposed is the paper's content-aware pipeline.
+	ModeProposed Mode = iota
+	// ModeBaseline reproduces [19] (Khan et al.): uniform capacity-sized
+	// tiling with one thread per core, a fixed encoding configuration with
+	// the reference encoder's full-quality TZ motion search (no
+	// content-aware search selection), all active cores at fmax.
+	ModeBaseline
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeBaseline {
+		return "baseline"
+	}
+	return "proposed"
+}
+
+// SessionConfig bundles all per-session parameters. Zero-value fields are
+// replaced by the referenced packages' defaults in NewSession.
+type SessionConfig struct {
+	Mode        Mode
+	Codec       codec.Config
+	Analysis    analysis.Config
+	Retile      tiling.RetileConfig
+	Policy      motion.PolicyConfig
+	Constraints quality.Constraints
+	// Workers bounds tile-encoding parallelism inside one frame (1 = off).
+	Workers int
+	// BaselineTiles overrides the baseline's capacity-derived tile count
+	// (0 = derive from the first GOP's measured workload).
+	BaselineTiles int
+	// BaselineQP is the fixed QP of the baseline configuration (0 → 32).
+	BaselineQP int
+	// BaselineWindow is the baseline's TZ search window (0 → 64).
+	BaselineWindow int
+	// TimeModel maps a tile's measured stats to the CPU time recorded in
+	// the workload LUT (and hence used for allocation). Nil records the
+	// raw measured EncodeTime. The experiment harness installs a model
+	// that re-weights motion-estimation time to an HEVC encoder's cost
+	// structure (see experiments.KvazaarTimeModel).
+	TimeModel func(codec.TileStats) time.Duration
+
+	// Ablation switches (DESIGN.md §5): each removes one contribution
+	// from the proposed pipeline while keeping the rest intact, so its
+	// individual effect is measurable. All are no-ops in baseline mode.
+
+	// DisableRetile replaces the content-aware re-tiler with a uniform
+	// 4×4 grid.
+	DisableRetile bool
+	// DisableQPAdapt freezes per-tile QPs at the texture defaults
+	// (Algorithm 1 off).
+	DisableQPAdapt bool
+	// DisableFastME replaces the GOP-aware search policy with TZ search
+	// (window 64) on every tile.
+	DisableFastME bool
+}
+
+// DefaultSessionConfig returns the paper's evaluation configuration.
+func DefaultSessionConfig() SessionConfig {
+	return SessionConfig{
+		Mode:        ModeProposed,
+		Codec:       codec.DefaultConfig(),
+		Analysis:    analysis.DefaultConfig(),
+		Retile:      tiling.DefaultRetileConfig(),
+		Policy:      motion.DefaultPolicyConfig(),
+		Constraints: quality.DefaultConstraints(),
+		Workers:     1,
+	}
+}
+
+// FrameReport is the outcome of encoding one frame.
+type FrameReport struct {
+	Frame      int
+	Type       codec.FrameType
+	Bits       int
+	PSNR       float64
+	Kbps       float64
+	EncodeTime time.Duration
+	Tiles      []codec.TileStats
+}
+
+// GOPReport aggregates one group of pictures.
+type GOPReport struct {
+	// Index is the GOP number (0-based).
+	Index int
+	// Grid is the tile structure used for the whole GOP.
+	Grid *tiling.Grid
+	// Contents are the per-tile content descriptors from stage A.
+	Contents []analysis.TileContent
+	// Frames holds the per-frame outcomes.
+	Frames []FrameReport
+	// MeanPSNR, MeanKbps aggregate the GOP.
+	MeanPSNR float64
+	MeanKbps float64
+	// CPUTime is the total encode CPU time of the GOP.
+	CPUTime time.Duration
+}
+
+// Session is one user's online transcoding of one video through the Fig. 2
+// pipeline. Sessions are not safe for concurrent use; the Server serializes
+// per-session calls (tile-level parallelism happens inside the codec).
+type Session struct {
+	ID      int
+	cfg     SessionConfig
+	src     FrameSource
+	enc     *codec.Encoder
+	lut     *workload.LUT
+	adapter *quality.Adapter
+	policy  *motion.GOPPolicy
+
+	// Per-GOP state (stage B output).
+	grid     *tiling.Grid
+	contents []analysis.TileContent
+	qps      []int
+
+	// Baseline state.
+	baselineGrid *tiling.Grid
+
+	frame int // next frame to encode
+
+	// prevTileStats feeds Algorithm 1 with the previous frame's per-tile
+	// measurements.
+	prevTileStats []codec.TileStats
+}
+
+// NewSession validates the configuration and builds a session. The LUT is
+// shared across sessions of the same body-part class (see workload.Store).
+func NewSession(id int, src FrameSource, cfg SessionConfig, lut *workload.LUT) (*Session, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil frame source")
+	}
+	if lut == nil {
+		return nil, fmt.Errorf("core: nil workload LUT")
+	}
+	f0 := src.Frame(0)
+	if cfg.Codec.Width == 0 {
+		cfg.Codec = codec.DefaultConfig()
+	}
+	cfg.Codec.Width, cfg.Codec.Height = f0.Width(), f0.Height()
+	cfg.Codec.FPS = src.FPS()
+	if err := cfg.Codec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.BaselineQP == 0 {
+		cfg.BaselineQP = 32
+	}
+	if cfg.BaselineWindow == 0 {
+		cfg.BaselineWindow = 64
+	}
+	enc, err := codec.NewEncoder(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	adapter, err := quality.NewAdapter(cfg.Constraints, 1)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := motion.NewGOPPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Analysis.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Retile.Validate(f0.Width(), f0.Height()); err != nil {
+		return nil, err
+	}
+	return &Session{
+		ID: id, cfg: cfg, src: src, enc: enc, lut: lut,
+		adapter: adapter, policy: policy,
+	}, nil
+}
+
+// Config returns the session's (defaulted) configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// Grid returns the current GOP's tile structure (nil before the first GOP).
+func (s *Session) Grid() *tiling.Grid { return s.grid }
+
+// Contents returns the current GOP's tile content descriptors.
+func (s *Session) Contents() []analysis.TileContent { return s.contents }
+
+// NextFrame returns the index of the next frame to encode.
+func (s *Session) NextFrame() int { return s.frame }
+
+// Finished reports whether the whole video has been encoded.
+func (s *Session) Finished() bool { return s.frame >= s.src.Len() }
+
+// prepareGOP runs stages A–C for the GOP starting at the current frame:
+// evaluate motion and texture, re-tile, reset per-tile QPs and the motion
+// policy's learned directions.
+func (s *Session) prepareGOP() error {
+	cur := s.src.Frame(s.frame)
+	// The "previous frame" of stage A is the encoder's reconstructed
+	// reference — exactly what an online transcoder has in hand.
+	ev, err := analysis.NewEvaluator(s.cfg.Analysis, cur.Y, refPlaneOf(s.enc))
+	if err != nil {
+		return err
+	}
+
+	if s.cfg.Mode == ModeBaseline {
+		grid, err := s.baselineGridFor(cur.Width(), cur.Height())
+		if err != nil {
+			return err
+		}
+		s.grid = grid
+	} else if s.cfg.DisableRetile {
+		grid, err := tiling.Uniform(cur.Width(), cur.Height(), 4, 4)
+		if err != nil {
+			return err
+		}
+		s.grid = grid
+	} else {
+		grid, err := tiling.Retile(cur.Width(), cur.Height(), s.cfg.Retile, ev)
+		if err != nil {
+			return err
+		}
+		s.grid = grid
+	}
+
+	s.contents, err = ev.EvaluateGrid(s.grid)
+	if err != nil {
+		return err
+	}
+	s.policy.Reset()
+	s.qps = make([]int, len(s.grid.Tiles))
+	for i, tc := range s.contents {
+		if s.cfg.Mode == ModeBaseline {
+			s.qps[i] = s.cfg.BaselineQP
+		} else {
+			s.qps[i] = s.adapter.ResetTile(i, tc.Texture)
+		}
+	}
+	s.prevTileStats = nil
+	return nil
+}
+
+// baselineGridFor derives the [19] tiling: one uniform tile per core-slot,
+// with the tile count set so each tile's workload ≈ one core's capacity.
+// The count comes from BaselineTiles or, when unset, from a probe encode of
+// the first frame.
+func (s *Session) baselineGridFor(w, h int) (*tiling.Grid, error) {
+	if s.baselineGrid != nil {
+		return s.baselineGrid, nil
+	}
+	n := s.cfg.BaselineTiles
+	if n <= 0 {
+		n = s.probeBaselineTiles()
+	}
+	nx, ny := factorize(n, w, h)
+	grid, err := tiling.Uniform(w, h, nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	s.baselineGrid = grid
+	return grid, nil
+}
+
+// probeBaselineTiles estimates the whole-frame workload with a single-tile
+// probe encode (on a scratch encoder) and sizes tiles to core capacity.
+func (s *Session) probeBaselineTiles() int {
+	probeEnc, err := codec.NewEncoder(s.cfg.Codec)
+	if err != nil {
+		return 4
+	}
+	f := s.src.Frame(s.frame)
+	grid, err := tiling.Uniform(f.Width(), f.Height(), 1, 1)
+	if err != nil {
+		return 4
+	}
+	params := []codec.TileParams{{
+		QP:       s.cfg.BaselineQP,
+		Searcher: motion.TZSearch{},
+		Window:   s.cfg.BaselineWindow,
+	}}
+	stats, _, err := probeEnc.EncodeFrame(f, grid, params)
+	if err != nil {
+		return 4
+	}
+	slot := time.Duration(float64(time.Second) / s.src.FPS())
+	n := int(math.Ceil(stats.EncodeTime.Seconds() / slot.Seconds()))
+	// Inter frames are cheaper than the I-frame probe; [19] still keeps
+	// several tiles for parallel slack. Clamp to a sane range.
+	if n < 2 {
+		n = 2
+	}
+	if n > 10 {
+		n = 10
+	}
+	return n
+}
+
+// factorize picks an nx×ny split with nx·ny ≥ n tiles matching the frame
+// aspect ratio as closely as possible.
+func factorize(n, w, h int) (nx, ny int) {
+	if n < 1 {
+		n = 1
+	}
+	bestNX, bestNY, bestWaste := n, 1, math.MaxFloat64
+	for ty := 1; ty <= n; ty++ {
+		tx := (n + ty - 1) / ty
+		if tx*ty < n {
+			tx++
+		}
+		// Aspect mismatch of resulting tiles vs square.
+		tw, th := float64(w)/float64(tx), float64(h)/float64(ty)
+		r := tw / th
+		if r < 1 {
+			r = 1 / r
+		}
+		waste := r + 0.1*float64(tx*ty-n)
+		if waste < bestWaste {
+			bestNX, bestNY, bestWaste = tx, ty, waste
+		}
+	}
+	return bestNX, bestNY
+}
+
+// tileParams assembles stage C's per-tile configuration for the next frame.
+func (s *Session) tileParams() []codec.TileParams {
+	frameInGOP := s.cfg.Codec.FrameInGOP(s.frame)
+	params := make([]codec.TileParams, len(s.grid.Tiles))
+	for i, tc := range s.contents {
+		if s.cfg.Mode == ModeBaseline {
+			params[i] = codec.TileParams{
+				QP:       s.cfg.BaselineQP,
+				Searcher: motion.TZSearch{},
+				Window:   s.cfg.BaselineWindow,
+			}
+			continue
+		}
+		if s.cfg.DisableFastME {
+			params[i] = codec.TileParams{QP: s.qps[i], Searcher: motion.TZSearch{}, Window: 64}
+			continue
+		}
+		searcher, window := s.policy.Choose(i, tc.Motion == analysis.MotionHigh, frameInGOP)
+		params[i] = codec.TileParams{
+			QP:       s.qps[i],
+			Searcher: searcher,
+			Window:   window,
+			Pred:     s.policy.PredFor(i, frameInGOP),
+		}
+	}
+	return params
+}
+
+// EncodeNextFrame advances the session by one frame: runs stages A–C at
+// GOP boundaries, encodes, feeds measurements back into the QP adapter,
+// the motion policy and the workload LUT, and returns the frame report.
+func (s *Session) EncodeNextFrame() (*FrameReport, error) {
+	if s.Finished() {
+		return nil, fmt.Errorf("core: session %d already finished", s.ID)
+	}
+	frameInGOP := s.cfg.Codec.FrameInGOP(s.frame)
+	if s.grid == nil || frameInGOP == 0 {
+		if err := s.prepareGOP(); err != nil {
+			return nil, err
+		}
+	}
+	params := s.tileParams()
+	f := s.src.Frame(s.frame)
+	stats, _, err := s.enc.EncodeFrameParallel(f, s.grid, params, s.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Feed back: workload LUT (D1), motion policy direction (first frame
+	// of GOP), QP adaptation (Algorithm 1, every frame).
+	for i, ts := range stats.Tiles {
+		tc := s.contents[i]
+		key := workload.MakeKey(ts.Tile.Area(), int(tc.Texture), int(tc.Motion), params[i].QP, params[i].Window)
+		observed := ts.EncodeTime
+		if s.cfg.TimeModel != nil {
+			observed = s.cfg.TimeModel(ts)
+		}
+		s.lut.Observe(key, observed)
+		if frameInGOP == 0 && stats.Type == codec.FrameP {
+			s.policy.Observe(i, ts.MeanMV)
+		}
+	}
+	if s.cfg.Mode == ModeProposed && !s.cfg.DisableQPAdapt {
+		for i, ts := range stats.Tiles {
+			// Tile bitrate extrapolated to a full-frame-share rate.
+			share := float64(ts.Tile.Area()) / float64(f.Width()*f.Height())
+			kbps := float64(stats.Bits) * s.src.FPS() / 1e3 * share
+			s.qps[i] = s.adapter.Adapt(i, quality.Measurement{
+				PSNR:        ts.PSNR,
+				BitrateKbps: kbps,
+			}, s.contents[i].Texture)
+		}
+	}
+	s.prevTileStats = stats.Tiles
+
+	rep := &FrameReport{
+		Frame:      s.frame,
+		Type:       stats.Type,
+		Bits:       stats.Bits,
+		PSNR:       stats.PSNR,
+		Kbps:       stats.Kbps(s.src.FPS()),
+		EncodeTime: stats.EncodeTime,
+		Tiles:      stats.Tiles,
+	}
+	s.frame++
+	return rep, nil
+}
+
+// EncodeGOP encodes the next full GOP (or the remaining frames if fewer)
+// and aggregates the reports.
+func (s *Session) EncodeGOP() (*GOPReport, error) {
+	if s.Finished() {
+		return nil, fmt.Errorf("core: session %d already finished", s.ID)
+	}
+	gop := &GOPReport{Index: s.frame / s.cfg.Codec.GOPSize}
+	n := s.cfg.Codec.GOPSize
+	if rem := s.src.Len() - s.frame; rem < n {
+		n = rem
+	}
+	var psnrSum, kbpsSum float64
+	for i := 0; i < n; i++ {
+		fr, err := s.EncodeNextFrame()
+		if err != nil {
+			return nil, err
+		}
+		gop.Frames = append(gop.Frames, *fr)
+		psnrSum += fr.PSNR
+		kbpsSum += fr.Kbps
+		gop.CPUTime += fr.EncodeTime
+	}
+	gop.Grid = s.grid
+	gop.Contents = s.contents
+	gop.MeanPSNR = psnrSum / float64(n)
+	gop.MeanKbps = kbpsSum / float64(n)
+	return gop, nil
+}
+
+// EstimateThreads produces stage D1's output for the allocator: one thread
+// per tile of the current grid with the LUT's CPU-time estimate. The
+// session must have a prepared GOP (encode at least one frame first, or
+// call PrepareForEstimation).
+func (s *Session) EstimateThreads() ([]sched.Thread, error) {
+	if s.grid == nil {
+		return nil, fmt.Errorf("core: session %d has no prepared GOP", s.ID)
+	}
+	frameInGOP := s.cfg.Codec.FrameInGOP(s.frame)
+	threads := make([]sched.Thread, len(s.grid.Tiles))
+	for i, tc := range s.contents {
+		qp := s.cfg.BaselineQP
+		window := s.cfg.BaselineWindow
+		if s.cfg.Mode == ModeProposed {
+			qp = s.qps[i]
+			_, window = s.policy.Choose(i, tc.Motion == analysis.MotionHigh, frameInGOP)
+		}
+		key := workload.MakeKey(s.grid.Tiles[i].Area(), int(tc.Texture), int(tc.Motion), qp, window)
+		threads[i] = sched.Thread{User: s.ID, Tile: i, TimeFmax: s.lut.Estimate(key)}
+	}
+	return threads, nil
+}
+
+// PrepareForEstimation runs stages A–C without encoding, so a fresh
+// session can report thread estimates for admission control.
+func (s *Session) PrepareForEstimation() error {
+	if s.grid != nil {
+		return nil
+	}
+	return s.prepareGOP()
+}
+
+// refPlaneOf returns the encoder's reference luma or nil before any frame.
+func refPlaneOf(enc *codec.Encoder) *video.Plane {
+	if ref := enc.Reference(); ref != nil {
+		return ref.Y
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/medgen"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// LUTOptions parametrizes the workload-estimation convergence experiment
+// (the paper's claim in Sec. III-D1: over/under-estimation below 100 µs
+// once enough frames have been processed).
+type LUTOptions struct {
+	// GOPs is the number of GOPs to encode while tracking the error.
+	GOPs  int
+	Video medgen.Config
+	// CrossVideo, when set, encodes a *different* video of the same class
+	// with the warmed LUT to demonstrate cross-video reuse.
+	CrossVideo *medgen.Config
+}
+
+// DefaultLUTOptions encodes several GOPs of a rotating brain study, then a
+// panning brain study reusing the same LUT.
+func DefaultLUTOptions() LUTOptions {
+	v := medgen.Default()
+	v.Frames = 64
+	cross := medgen.Default()
+	cross.Frames = 16
+	cross.Motion = medgen.Pan
+	cross.Seed = 7
+	return LUTOptions{GOPs: 8, Video: v, CrossVideo: &cross}
+}
+
+// LUTPoint is the estimation error after one GOP.
+type LUTPoint struct {
+	GOP          int
+	MeanAbsError time.Duration
+	Observations uint64
+}
+
+// LUTResult is the convergence trace.
+type LUTResult struct {
+	Points []LUTPoint
+	// FinalError is the error after the last GOP of the primary video.
+	FinalError time.Duration
+	// MeanTileTime is the average observed tile time, for putting the
+	// absolute error in proportion (the floor of the absolute error is
+	// the host's timing jitter, not the estimator).
+	MeanTileTime time.Duration
+	// CrossVideoError is the error accumulated while encoding the second
+	// same-class video with the shared LUT (0 when not requested).
+	CrossVideoError time.Duration
+}
+
+// RunLUT encodes the video GOP by GOP, recording the workload LUT's mean
+// absolute estimation error as it converges, then optionally replays a
+// second same-class video against the warmed LUT.
+func RunLUT(opt LUTOptions) (*LUTResult, error) {
+	if opt.GOPs <= 0 {
+		return nil, fmt.Errorf("experiments: bad LUT options %+v", opt)
+	}
+	lut := workload.NewLUT()
+	src, err := sourceFor(opt.Video)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultSessionConfig()
+	sess, err := core.NewSession(0, src, cfg, lut)
+	if err != nil {
+		return nil, err
+	}
+	res := &LUTResult{}
+	var tileTime time.Duration
+	var tiles int
+	for g := 0; g < opt.GOPs && !sess.Finished(); g++ {
+		gop, err := sess.EncodeGOP()
+		if err != nil {
+			return nil, err
+		}
+		for _, fr := range gop.Frames {
+			for _, ts := range fr.Tiles {
+				tileTime += ts.EncodeTime
+				tiles++
+			}
+		}
+		e, n := lut.MeanAbsError()
+		res.Points = append(res.Points, LUTPoint{GOP: g, MeanAbsError: e, Observations: n})
+		res.FinalError = e
+	}
+	if tiles > 0 {
+		res.MeanTileTime = tileTime / time.Duration(tiles)
+	}
+	if opt.CrossVideo != nil {
+		src2, err := sourceFor(*opt.CrossVideo)
+		if err != nil {
+			return nil, err
+		}
+		sess2, err := core.NewSession(1, src2, cfg, lut)
+		if err != nil {
+			return nil, err
+		}
+		before, beforeN := lut.MeanAbsError()
+		for !sess2.Finished() {
+			if _, err := sess2.EncodeGOP(); err != nil {
+				return nil, err
+			}
+		}
+		after, afterN := lut.MeanAbsError()
+		// Isolate the cross-video contribution from the running average.
+		if afterN > beforeN {
+			total := time.Duration(int64(after)*int64(afterN) - int64(before)*int64(beforeN))
+			res.CrossVideoError = total / time.Duration(afterN-beforeN)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the convergence trace.
+func (r *LUTResult) Render(w io.Writer) error {
+	t := trace.NewTable("Workload LUT convergence (paper: < 100 µs once warm)",
+		"GOP", "mean abs error", "re-observations")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.GOP), p.MeanAbsError.String(), fmt.Sprint(p.Observations))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if r.CrossVideoError > 0 {
+		if _, err := fmt.Fprintf(w, "same-class cross-video error with shared LUT: %v\n", r.CrossVideoError); err != nil {
+			return err
+		}
+	}
+	rel := 0.0
+	if r.MeanTileTime > 0 {
+		rel = float64(r.FinalError) / float64(r.MeanTileTime) * 100
+	}
+	_, err := fmt.Fprintf(w, "final error: %v (%.1f%% of the %.2fms mean tile time; the absolute floor is host timing jitter)\n",
+		r.FinalError, rel, float64(r.MeanTileTime.Microseconds())/1000)
+	return err
+}

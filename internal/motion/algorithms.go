@@ -1,0 +1,347 @@
+package motion
+
+// This file implements the individual search algorithms. All of them share
+// the memoizing searchState, so revisiting a position during pattern
+// iteration costs nothing, and all support a predicted start vector.
+
+// FullSearch exhaustively evaluates every candidate in the window. It is
+// the quality reference: no faster algorithm can beat its SAD.
+type FullSearch struct{}
+
+// Name implements Searcher.
+func (FullSearch) Name() string { return "full" }
+
+// Search implements Searcher.
+func (FullSearch) Search(b Block, window int, pred MV) Result {
+	s := newSearchState(b, window)
+	s.seed(pred)
+	for dy := -window; dy <= window; dy++ {
+		for dx := -window; dx <= window; dx++ {
+			s.try(MV{dx, dy})
+		}
+	}
+	return s.result()
+}
+
+// TZSearch is a faithful simplification of the HM reference encoder's Test
+// Zone search: predictor seeding, an expanding 8-point diamond zonal
+// search, a sparse raster fallback when the best distance is large, and
+// iterative star refinement.
+type TZSearch struct {
+	// RasterThreshold triggers the raster stage when the zonal best
+	// distance exceeds it (HM default 5). Zero means 5.
+	RasterThreshold int
+	// RasterStride is the raster subsampling step (HM default 5).
+	RasterStride int
+}
+
+// Name implements Searcher.
+func (TZSearch) Name() string { return "tz" }
+
+// Search implements Searcher.
+func (t TZSearch) Search(b Block, window int, pred MV) Result {
+	thr := t.RasterThreshold
+	if thr <= 0 {
+		thr = 5
+	}
+	stride := t.RasterStride
+	if stride <= 0 {
+		stride = 5
+	}
+	s := newSearchState(b, window)
+	s.seed(pred)
+
+	// Zonal expanding diamond around the incumbent.
+	center := s.best
+	bestDist := 0
+	for dist := 1; dist <= window; dist *= 2 {
+		improved := false
+		for _, d := range diamondPoints(dist) {
+			if c := s.try(center.Add(d)); c == s.cost && s.best == center.Add(d) {
+				improved = true
+			}
+		}
+		if improved {
+			bestDist = dist
+		}
+	}
+
+	// Raster stage for distant optima.
+	if bestDist > thr {
+		for dy := -window; dy <= window; dy += stride {
+			for dx := -window; dx <= window; dx += stride {
+				s.try(MV{dx, dy})
+			}
+		}
+	}
+
+	// Star refinement: shrink the diamond around each new incumbent until
+	// no improvement at distance 1.
+	for {
+		center = s.best
+		improved := false
+		for dist := 1; dist <= thr; dist *= 2 {
+			for _, d := range diamondPoints(dist) {
+				s.try(center.Add(d))
+			}
+		}
+		if s.best != center {
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	return s.result()
+}
+
+// diamondPoints returns the 8-point diamond at the given distance.
+func diamondPoints(d int) []MV {
+	h := d / 2
+	if h == 0 {
+		h = 1
+	}
+	if d == 1 {
+		return []MV{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	}
+	return []MV{
+		{d, 0}, {-d, 0}, {0, d}, {0, -d},
+		{h, h}, {h, -h}, {-h, h}, {-h, -h},
+	}
+}
+
+// ThreeStep is the classic three-step search (Li et al. 1994): evaluate the
+// 8 neighbours at a step that starts near half the window and halves until
+// one.
+type ThreeStep struct{}
+
+// Name implements Searcher.
+func (ThreeStep) Name() string { return "tss" }
+
+// Search implements Searcher.
+func (ThreeStep) Search(b Block, window int, pred MV) Result {
+	s := newSearchState(b, window)
+	s.seed(pred)
+	step := 1
+	for step*2 <= window {
+		step *= 2
+	}
+	step /= 2
+	if step == 0 {
+		step = 1
+	}
+	for step >= 1 {
+		center := s.best
+		for _, d := range squarePoints(step) {
+			s.try(center.Add(d))
+		}
+		step /= 2
+	}
+	return s.result()
+}
+
+// squarePoints returns the 8 neighbours at Chebyshev distance d.
+func squarePoints(d int) []MV {
+	return []MV{
+		{-d, -d}, {0, -d}, {d, -d},
+		{-d, 0}, {d, 0},
+		{-d, d}, {0, d}, {d, d},
+	}
+}
+
+// Diamond is the diamond search of Zhu & Ma (1997): iterate the 9-point
+// large diamond pattern until the centre wins, then refine with the small
+// diamond.
+type Diamond struct{}
+
+// Name implements Searcher.
+func (Diamond) Name() string { return "diamond" }
+
+// ldsp is the large diamond search pattern (excluding the centre).
+var ldsp = []MV{{0, -2}, {1, -1}, {2, 0}, {1, 1}, {0, 2}, {-1, 1}, {-2, 0}, {-1, -1}}
+
+// sdsp is the small diamond search pattern.
+var sdsp = []MV{{0, -1}, {1, 0}, {0, 1}, {-1, 0}}
+
+// Search implements Searcher.
+func (Diamond) Search(b Block, window int, pred MV) Result {
+	s := newSearchState(b, window)
+	s.seed(pred)
+	for i := 0; i < 4*window; i++ { // bounded: each move strictly improves
+		center := s.best
+		for _, d := range ldsp {
+			s.try(center.Add(d))
+		}
+		if s.best == center {
+			break
+		}
+	}
+	center := s.best
+	for _, d := range sdsp {
+		s.try(center.Add(d))
+	}
+	return s.result()
+}
+
+// Cross is the cross-search algorithm of Ghanbari (1990): a logarithmic
+// search evaluating the four diagonal (×) neighbours at a halving step,
+// finishing with the orthogonal (+) pattern at step one.
+type Cross struct{}
+
+// Name implements Searcher.
+func (Cross) Name() string { return "cross" }
+
+// Search implements Searcher.
+func (Cross) Search(b Block, window int, pred MV) Result {
+	s := newSearchState(b, window)
+	s.seed(pred)
+	step := 1
+	for step*2 <= window {
+		step *= 2
+	}
+	step /= 2
+	if step == 0 {
+		step = 1
+	}
+	for step > 1 {
+		center := s.best
+		for _, d := range []MV{{-step, -step}, {step, -step}, {-step, step}, {step, step}} {
+			s.try(center.Add(d))
+		}
+		if s.best == center {
+			step /= 2
+		}
+	}
+	// Endgame at step 1: both × and + neighbourhoods.
+	center := s.best
+	for _, d := range squarePoints(1) {
+		s.try(center.Add(d))
+	}
+	return s.result()
+}
+
+// OneAtATime is the one-at-a-time search (Srinivasan & Rao 1985): walk
+// along one axis while the cost improves, then along the other. The
+// Primary axis can be set from a known motion direction; the zero value
+// walks horizontally first (the original formulation).
+type OneAtATime struct {
+	// Direction orients the first axis: Horizontalish() chooses the axis
+	// and its sign gives the first step direction. Zero value = +X first.
+	Direction MV
+}
+
+// Name implements Searcher.
+func (OneAtATime) Name() string { return "ots" }
+
+// Search implements Searcher.
+func (o OneAtATime) Search(b Block, window int, pred MV) Result {
+	s := newSearchState(b, window)
+	s.seed(pred)
+	firstHorizontal := o.Direction.Horizontalish()
+	axes := [2]MV{{1, 0}, {0, 1}}
+	if !firstHorizontal {
+		axes = [2]MV{{0, 1}, {1, 0}}
+	}
+	// Prefer stepping toward the known direction first on each axis.
+	signFor := func(axis MV) int {
+		d := o.Direction.X*axis.X + o.Direction.Y*axis.Y
+		if d < 0 {
+			return -1
+		}
+		return 1
+	}
+	for _, axis := range axes {
+		sign := signFor(axis)
+		// Probe both directions once, then walk the better one.
+		center := s.best
+		cPlus := s.try(center.Add(MV{axis.X * sign, axis.Y * sign}))
+		cMinus := s.try(center.Add(MV{-axis.X * sign, -axis.Y * sign}))
+		dir := sign
+		if cMinus < cPlus {
+			dir = -sign
+		}
+		// Walk while each step becomes the new incumbent.
+		for {
+			center = s.best
+			next := center.Add(MV{axis.X * dir, axis.Y * dir})
+			s.try(next)
+			if s.best != next {
+				break
+			}
+		}
+	}
+	return s.result()
+}
+
+// HexOrientation selects the hexagon pattern orientation.
+type HexOrientation int
+
+// Hexagon orientations. Rotating alternates between the two fixed patterns
+// each iteration, approximating the rotating hexagonal pattern used when
+// the motion direction is not yet known (first frame of a GOP).
+const (
+	HexHorizontal HexOrientation = iota
+	HexVertical
+	HexRotating
+)
+
+// String returns the orientation name.
+func (o HexOrientation) String() string {
+	switch o {
+	case HexHorizontal:
+		return "horizontal"
+	case HexVertical:
+		return "vertical"
+	case HexRotating:
+		return "rotating"
+	default:
+		return "hex?"
+	}
+}
+
+// hexH is the horizontal hexagon pattern (flat sides up/down): best for
+// predominantly horizontal motion.
+var hexH = []MV{{-2, 0}, {2, 0}, {-1, -2}, {1, -2}, {-1, 2}, {1, 2}}
+
+// hexV is the vertical hexagon pattern.
+var hexV = []MV{{0, -2}, {0, 2}, {-2, -1}, {-2, 1}, {2, -1}, {2, 1}}
+
+// Hexagon is the hexagon-based search of Zhu, Lin & Chau (2002) with a
+// selectable orientation and the standard small-diamond endgame.
+type Hexagon struct {
+	Orientation HexOrientation
+}
+
+// Name implements Searcher.
+func (h Hexagon) Name() string { return "hex-" + h.Orientation.String() }
+
+// Search implements Searcher.
+func (h Hexagon) Search(b Block, window int, pred MV) Result {
+	s := newSearchState(b, window)
+	s.seed(pred)
+	iter := 0
+	for i := 0; i < 4*window; i++ {
+		center := s.best
+		pattern := hexH
+		switch h.Orientation {
+		case HexVertical:
+			pattern = hexV
+		case HexRotating:
+			if iter%2 == 1 {
+				pattern = hexV
+			}
+		}
+		for _, d := range pattern {
+			s.try(center.Add(d))
+		}
+		iter++
+		if s.best == center {
+			break
+		}
+	}
+	center := s.best
+	for _, d := range sdsp {
+		s.try(center.Add(d))
+	}
+	return s.result()
+}

@@ -1,0 +1,244 @@
+// Package mpsoc models the execution platform of the paper: a multicore
+// server with per-core DVFS (the evaluation machine is four 8-core Intel
+// Xeon E5-2667 processors with operating points 2.9, 3.2 and 3.6 GHz and a
+// 10 µs DVFS transition latency). The model provides what the scheduler
+// (internal/sched) consumes — core counts, frequency levels and slot-based
+// timing — and what the experiments report — per-slot energy and power
+// from a static + dynamic (C·V²·f) power model.
+//
+// The paper measures a real server; this package substitutes a calibrated
+// simulator. The substitution is sound because Algorithm 2 takes only
+// per-thread CPU-time estimates as input and emits core/frequency
+// assignments; feeding it measured Go encode times exercises the identical
+// decision logic (see DESIGN.md).
+package mpsoc
+
+import (
+	"fmt"
+	"time"
+)
+
+// FreqLevel is one DVFS operating point.
+type FreqLevel struct {
+	// Hz is the core clock frequency.
+	Hz float64
+	// Volt is the supply voltage at this frequency.
+	Volt float64
+}
+
+// GHz returns the frequency in GHz.
+func (f FreqLevel) GHz() float64 { return f.Hz / 1e9 }
+
+// PowerModel parametrizes per-core power: P_busy = Static + Ceff·V²·f and
+// P_idle = Static + IdleFrac·Ceff·V²·f (clock tree and uncore keep
+// switching while idle, at a fraction of the busy activity factor).
+type PowerModel struct {
+	// StaticW is the leakage (voltage-independent simplification) per core.
+	StaticW float64
+	// CeffWPerV2GHz is the effective switched capacitance in W/(V²·GHz).
+	CeffWPerV2GHz float64
+	// IdleFrac is the idle activity factor in [0, 1).
+	IdleFrac float64
+	// GatedW is the power of a power-gated core (deep C-state): clocks
+	// stopped, most of the core rail collapsed. Cores with no work in a
+	// slot can be gated instead of idled.
+	GatedW float64
+}
+
+// BusyWatts returns the active power of one core at level f.
+func (m PowerModel) BusyWatts(f FreqLevel) float64 {
+	return m.StaticW + m.CeffWPerV2GHz*f.Volt*f.Volt*f.GHz()
+}
+
+// IdleWatts returns the idle power of one core clocked at level f.
+func (m PowerModel) IdleWatts(f FreqLevel) float64 {
+	return m.StaticW + m.IdleFrac*m.CeffWPerV2GHz*f.Volt*f.Volt*f.GHz()
+}
+
+// Platform describes the target MPSoC.
+type Platform struct {
+	// Cores is the number of physical cores usable for tile threads.
+	Cores int
+	// ThreadsPerCore models SMT contexts; the schedulers in this
+	// repository allocate physical cores (as the paper does: one thread
+	// per tile, tiles are compute-bound so SMT gains are second order).
+	ThreadsPerCore int
+	// Levels are the DVFS operating points in ascending frequency order.
+	Levels []FreqLevel
+	// DVFSLatency is the frequency transition latency.
+	DVFSLatency time.Duration
+	// Power is the per-core power model.
+	Power PowerModel
+}
+
+// XeonE5_2667V4 returns the paper's evaluation platform: 4 processors × 8
+// cores, 2 SMT threads, operating points 2.9/3.2/3.6 GHz, 10 µs DVFS
+// latency. Voltages follow a typical V-f curve for the part; the power
+// model is calibrated so a fully busy core at 3.6 GHz draws ≈13 W (135 W
+// TDP per 8-core processor, uncore excluded).
+func XeonE5_2667V4() *Platform {
+	return &Platform{
+		Cores:          32,
+		ThreadsPerCore: 2,
+		Levels: []FreqLevel{
+			{Hz: 2.9e9, Volt: 0.95},
+			{Hz: 3.2e9, Volt: 1.00},
+			{Hz: 3.6e9, Volt: 1.10},
+		},
+		DVFSLatency: 10 * time.Microsecond,
+		Power: PowerModel{
+			StaticW:       1.5,
+			CeffWPerV2GHz: 2.6, // 1.5 + 2.6·1.1²·3.6 ≈ 12.8 W busy at fmax
+			IdleFrac:      0.25,
+			GatedW:        0.7,
+		},
+	}
+}
+
+// Validate reports platform description errors.
+func (p *Platform) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("mpsoc: %d cores", p.Cores)
+	}
+	if p.ThreadsPerCore <= 0 {
+		return fmt.Errorf("mpsoc: %d threads per core", p.ThreadsPerCore)
+	}
+	if len(p.Levels) == 0 {
+		return fmt.Errorf("mpsoc: no frequency levels")
+	}
+	for i, l := range p.Levels {
+		if l.Hz <= 0 || l.Volt <= 0 {
+			return fmt.Errorf("mpsoc: level %d invalid (%v Hz, %v V)", i, l.Hz, l.Volt)
+		}
+		if i > 0 {
+			prev := p.Levels[i-1]
+			if l.Hz <= prev.Hz || l.Volt < prev.Volt {
+				return fmt.Errorf("mpsoc: levels not ascending at %d", i)
+			}
+		}
+	}
+	if p.DVFSLatency < 0 {
+		return fmt.Errorf("mpsoc: negative DVFS latency")
+	}
+	if p.Power.StaticW < 0 || p.Power.CeffWPerV2GHz <= 0 || p.Power.IdleFrac < 0 || p.Power.IdleFrac >= 1 {
+		return fmt.Errorf("mpsoc: invalid power model %+v", p.Power)
+	}
+	if p.Power.GatedW < 0 || p.Power.GatedW > p.Power.IdleWatts(p.Levels[0]) {
+		return fmt.Errorf("mpsoc: gated power %v above idle power", p.Power.GatedW)
+	}
+	return nil
+}
+
+// MinLevel returns the index of the lowest operating point.
+func (p *Platform) MinLevel() int { return 0 }
+
+// MaxLevel returns the index of the highest operating point.
+func (p *Platform) MaxLevel() int { return len(p.Levels) - 1 }
+
+// Fmax returns the highest-frequency level.
+func (p *Platform) Fmax() FreqLevel { return p.Levels[p.MaxLevel()] }
+
+// ScaleToLevel converts a CPU time measured (or estimated) at fmax into
+// execution time at level l: work is frequency-bound, so t_l = t_max·fmax/f_l.
+func (p *Platform) ScaleToLevel(atFmax time.Duration, level int) time.Duration {
+	f := p.Levels[level]
+	return time.Duration(float64(atFmax) * p.Fmax().Hz / f.Hz)
+}
+
+// CorePlan is one core's plan for a scheduling slot: how much work it
+// executes (expressed as CPU time at fmax), at which level it executes,
+// and at which level it idles for the remaining slack.
+type CorePlan struct {
+	// LoadAtFmax is the CPU time of the assigned work measured at fmax.
+	LoadAtFmax time.Duration
+	// BusyLevel indexes Platform.Levels for the execution phase.
+	BusyLevel int
+	// IdleLevel indexes Platform.Levels for the slack phase.
+	IdleLevel int
+	// Transitions counts DVFS switches charged to this core this slot.
+	Transitions int
+	// Gated parks the core in a deep C-state for the whole slot. Only
+	// valid for cores with no load.
+	Gated bool
+}
+
+// SlotReport summarizes the simulation of one slot.
+type SlotReport struct {
+	// Slot is the simulated slot length (1/FPS in the paper).
+	Slot time.Duration
+	// EnergyJ is the total energy of all cores over the slot.
+	EnergyJ float64
+	// AvgPowerW is EnergyJ / Slot.
+	AvgPowerW float64
+	// BusyTime per core (post frequency scaling, incl. DVFS latency).
+	BusyTime []time.Duration
+	// CarryOver is per-core work (at fmax) that did not fit in the slot;
+	// Algorithm 2 shifts it to the next interval.
+	CarryOver []time.Duration
+	// DeadlineMisses counts cores whose work overran the slot.
+	DeadlineMisses int
+}
+
+// SimulateSlot executes one slot of the given per-core plans and returns
+// timing and energy. Plans must have one entry per platform core; absent
+// cores idle at their IdleLevel for the whole slot.
+func (p *Platform) SimulateSlot(plans []CorePlan, slot time.Duration) (*SlotReport, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if slot <= 0 {
+		return nil, fmt.Errorf("mpsoc: non-positive slot %v", slot)
+	}
+	if len(plans) != p.Cores {
+		return nil, fmt.Errorf("mpsoc: %d plans for %d cores", len(plans), p.Cores)
+	}
+	rep := &SlotReport{
+		Slot:      slot,
+		BusyTime:  make([]time.Duration, p.Cores),
+		CarryOver: make([]time.Duration, p.Cores),
+	}
+	for i, plan := range plans {
+		if plan.LoadAtFmax < 0 {
+			return nil, fmt.Errorf("mpsoc: core %d negative load", i)
+		}
+		if plan.BusyLevel < 0 || plan.BusyLevel >= len(p.Levels) ||
+			plan.IdleLevel < 0 || plan.IdleLevel >= len(p.Levels) {
+			return nil, fmt.Errorf("mpsoc: core %d level out of range", i)
+		}
+		if plan.Gated {
+			if plan.LoadAtFmax > 0 {
+				return nil, fmt.Errorf("mpsoc: core %d gated with pending load", i)
+			}
+			rep.EnergyJ += p.Power.GatedW * slot.Seconds()
+			continue
+		}
+		busy := p.ScaleToLevel(plan.LoadAtFmax, plan.BusyLevel)
+		busy += time.Duration(plan.Transitions) * p.DVFSLatency
+		if busy > slot {
+			// Deadline miss: execute until the slot ends, carry the rest
+			// (expressed back at fmax) into the next interval.
+			overrun := busy - slot
+			f := p.Levels[plan.BusyLevel]
+			rep.CarryOver[i] = time.Duration(float64(overrun) * f.Hz / p.Fmax().Hz)
+			busy = slot
+			rep.DeadlineMisses++
+		}
+		rep.BusyTime[i] = busy
+		idle := slot - busy
+		eBusy := p.Power.BusyWatts(p.Levels[plan.BusyLevel]) * busy.Seconds()
+		eIdle := p.Power.IdleWatts(p.Levels[plan.IdleLevel]) * idle.Seconds()
+		rep.EnergyJ += eBusy + eIdle
+	}
+	rep.AvgPowerW = rep.EnergyJ / slot.Seconds()
+	return rep, nil
+}
+
+// LevelByHz returns the index of the level with the given frequency.
+func (p *Platform) LevelByHz(hz float64) (int, error) {
+	for i, l := range p.Levels {
+		if l.Hz == hz {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mpsoc: no level at %v Hz", hz)
+}

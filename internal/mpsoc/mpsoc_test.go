@@ -1,0 +1,255 @@
+package mpsoc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestXeonPlatformValid(t *testing.T) {
+	p := XeonE5_2667V4()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores != 32 {
+		t.Fatalf("cores = %d (4 × 8-core E5-2667)", p.Cores)
+	}
+	if len(p.Levels) != 3 {
+		t.Fatalf("%d levels, want 3 (2.9/3.2/3.6 GHz)", len(p.Levels))
+	}
+	if p.Fmax().Hz != 3.6e9 {
+		t.Fatalf("fmax = %v", p.Fmax().Hz)
+	}
+	if p.DVFSLatency != 10*time.Microsecond {
+		t.Fatalf("DVFS latency = %v (paper: 10 µs)", p.DVFSLatency)
+	}
+}
+
+func TestValidateCatchesBadPlatforms(t *testing.T) {
+	mutations := []func(*Platform){
+		func(p *Platform) { p.Cores = 0 },
+		func(p *Platform) { p.ThreadsPerCore = 0 },
+		func(p *Platform) { p.Levels = nil },
+		func(p *Platform) { p.Levels[1].Hz = p.Levels[0].Hz }, // not ascending
+		func(p *Platform) { p.Levels[0].Volt = -1 },
+		func(p *Platform) { p.DVFSLatency = -time.Second },
+		func(p *Platform) { p.Power.CeffWPerV2GHz = 0 },
+		func(p *Platform) { p.Power.IdleFrac = 1.5 },
+	}
+	for i, mutate := range mutations {
+		p := XeonE5_2667V4()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestPowerModelOrdering(t *testing.T) {
+	p := XeonE5_2667V4()
+	m := p.Power
+	for i, l := range p.Levels {
+		if m.IdleWatts(l) >= m.BusyWatts(l) {
+			t.Fatalf("level %d: idle %.2f W ≥ busy %.2f W", i, m.IdleWatts(l), m.BusyWatts(l))
+		}
+		if i > 0 {
+			prev := p.Levels[i-1]
+			if m.BusyWatts(l) <= m.BusyWatts(prev) {
+				t.Fatalf("busy power not increasing with frequency at level %d", i)
+			}
+			if m.IdleWatts(l) <= m.IdleWatts(prev) {
+				t.Fatalf("idle power not increasing with frequency at level %d", i)
+			}
+		}
+	}
+	// Calibration: a busy core at fmax should draw roughly 13 W (TDP/8).
+	busy := m.BusyWatts(p.Fmax())
+	if busy < 8 || busy > 20 {
+		t.Fatalf("busy watts at fmax = %.1f, want ≈13", busy)
+	}
+}
+
+func TestScaleToLevel(t *testing.T) {
+	p := XeonE5_2667V4()
+	work := 29 * time.Millisecond
+	// At fmax the time is unchanged.
+	if got := p.ScaleToLevel(work, p.MaxLevel()); got != work {
+		t.Fatalf("fmax scaling changed time: %v", got)
+	}
+	// At 2.9 GHz the same work takes 3.6/2.9 longer.
+	got := p.ScaleToLevel(work, 0)
+	want := time.Duration(float64(work) * 3.6 / 2.9)
+	if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("scaled = %v, want %v", got, want)
+	}
+}
+
+func TestSimulateSlotAllIdle(t *testing.T) {
+	p := XeonE5_2667V4()
+	plans := make([]CorePlan, p.Cores) // all idle at level 0
+	slot := 41666 * time.Microsecond   // 1/24 s
+	rep, err := p.SimulateSlot(plans, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := float64(p.Cores) * p.Power.IdleWatts(p.Levels[0])
+	if math.Abs(rep.AvgPowerW-wantW) > 1e-6 {
+		t.Fatalf("idle power %.3f W, want %.3f", rep.AvgPowerW, wantW)
+	}
+	if rep.DeadlineMisses != 0 {
+		t.Fatal("idle slot reported misses")
+	}
+}
+
+func TestSimulateSlotBusyVsIdleEnergy(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	mk := func(load time.Duration, idleLevel int) []CorePlan {
+		plans := make([]CorePlan, p.Cores)
+		plans[0] = CorePlan{LoadAtFmax: load, BusyLevel: p.MaxLevel(), IdleLevel: idleLevel}
+		return plans
+	}
+	// Same work, slack at fmin vs slack at fmax: fmin must cost less.
+	repMin, err := p.SimulateSlot(mk(10*time.Millisecond, p.MinLevel()), slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repMax, err := p.SimulateSlot(mk(10*time.Millisecond, p.MaxLevel()), slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repMin.EnergyJ >= repMax.EnergyJ {
+		t.Fatalf("fmin slack %.4f J ≥ fmax slack %.4f J", repMin.EnergyJ, repMax.EnergyJ)
+	}
+}
+
+func TestSimulateSlotDeadlineMissAndCarryOver(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	plans := make([]CorePlan, p.Cores)
+	// 60 ms of work at fmax in a 41.7 ms slot.
+	plans[3] = CorePlan{LoadAtFmax: 60 * time.Millisecond, BusyLevel: p.MaxLevel(), IdleLevel: p.MinLevel()}
+	rep, err := p.SimulateSlot(plans, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlineMisses != 1 {
+		t.Fatalf("misses = %d, want 1", rep.DeadlineMisses)
+	}
+	carry := rep.CarryOver[3]
+	want := 60*time.Millisecond - slot
+	if d := carry - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("carry-over = %v, want ≈%v", carry, want)
+	}
+	if rep.BusyTime[3] != slot {
+		t.Fatalf("busy time %v, want full slot", rep.BusyTime[3])
+	}
+}
+
+func TestSimulateSlotCarryOverScalesWithFrequency(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	plans := make([]CorePlan, p.Cores)
+	// Work fits at fmax but not at fmin.
+	plans[0] = CorePlan{LoadAtFmax: 35 * time.Millisecond, BusyLevel: p.MinLevel(), IdleLevel: p.MinLevel()}
+	rep, err := p.SimulateSlot(plans, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlineMisses != 1 {
+		t.Fatalf("running 35 ms@fmax of work at 2.9 GHz must overrun: misses=%d", rep.DeadlineMisses)
+	}
+	// The carried work, re-expressed at fmax, must keep total work
+	// conserved: executed (slot at 2.9 GHz → slot·2.9/3.6 at fmax) +
+	// carry == 35 ms.
+	executedAtFmax := time.Duration(float64(slot) * 2.9 / 3.6)
+	total := executedAtFmax + rep.CarryOver[0]
+	if d := total - 35*time.Millisecond; d < -10*time.Microsecond || d > 10*time.Microsecond {
+		t.Fatalf("work not conserved: executed %v + carry %v != 35ms", executedAtFmax, rep.CarryOver[0])
+	}
+}
+
+func TestSimulateSlotTransitionsCost(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	base := make([]CorePlan, p.Cores)
+	base[0] = CorePlan{LoadAtFmax: 10 * time.Millisecond, BusyLevel: p.MaxLevel(), IdleLevel: p.MinLevel()}
+	with := make([]CorePlan, p.Cores)
+	with[0] = base[0]
+	with[0].Transitions = 2
+	a, err := p.SimulateSlot(base, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SimulateSlot(with, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BusyTime[0] != a.BusyTime[0]+2*p.DVFSLatency {
+		t.Fatalf("transition latency not charged: %v vs %v", b.BusyTime[0], a.BusyTime[0])
+	}
+}
+
+func TestSimulateSlotValidation(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	if _, err := p.SimulateSlot(make([]CorePlan, 3), slot); err == nil {
+		t.Fatal("accepted wrong plan count")
+	}
+	if _, err := p.SimulateSlot(make([]CorePlan, p.Cores), 0); err == nil {
+		t.Fatal("accepted zero slot")
+	}
+	bad := make([]CorePlan, p.Cores)
+	bad[0].BusyLevel = 99
+	if _, err := p.SimulateSlot(bad, slot); err == nil {
+		t.Fatal("accepted bad level")
+	}
+	bad2 := make([]CorePlan, p.Cores)
+	bad2[0].LoadAtFmax = -time.Second
+	if _, err := p.SimulateSlot(bad2, slot); err == nil {
+		t.Fatal("accepted negative load")
+	}
+}
+
+func TestLevelByHz(t *testing.T) {
+	p := XeonE5_2667V4()
+	i, err := p.LevelByHz(3.2e9)
+	if err != nil || i != 1 {
+		t.Fatalf("LevelByHz(3.2GHz) = %d, %v", i, err)
+	}
+	if _, err := p.LevelByHz(1e9); err == nil {
+		t.Fatal("accepted unknown frequency")
+	}
+}
+
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	f := func(loads [8]uint16, levels [8]uint8) bool {
+		plans := make([]CorePlan, p.Cores)
+		for i := 0; i < 8; i++ {
+			plans[i] = CorePlan{
+				LoadAtFmax: time.Duration(loads[i]%50) * time.Millisecond,
+				BusyLevel:  int(levels[i]) % len(p.Levels),
+				IdleLevel:  int(levels[i]+1) % len(p.Levels),
+			}
+		}
+		rep, err := p.SimulateSlot(plans, slot)
+		if err != nil {
+			return false
+		}
+		if rep.EnergyJ < 0 || rep.AvgPowerW < 0 {
+			return false
+		}
+		for i := range rep.BusyTime {
+			if rep.BusyTime[i] > slot || rep.CarryOver[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mpsoc"
+)
+
+func TestOverloadedCoreCarriesOverNotPanics(t *testing.T) {
+	// A single admitted user whose threads exceed every core's slot: the
+	// allocator must place all threads (the deadline slips, Algorithm 2
+	// compensates in later slots via carry-over), and the simulator must
+	// report the misses.
+	in := input(demand(0, ms(60), ms(55)))
+	res, err := AllocateContentAware(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 1 {
+		// A user whose demand exceeds the whole platform would be
+		// rejected; this one needs 3 cores and must be admitted.
+		t.Fatalf("admitted = %v", res.Admitted)
+	}
+	if len(res.Assignments) != 2 {
+		t.Fatalf("assignments = %d", len(res.Assignments))
+	}
+	slot := time.Second / 24
+	rep, err := in.Platform.SimulateSlot(res.Plans, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlineMisses == 0 {
+		t.Fatal("60ms threads in a 41.7ms slot reported no misses")
+	}
+	var carried time.Duration
+	for _, c := range rep.CarryOver {
+		carried += c
+	}
+	if carried <= 0 {
+		t.Fatal("no carry-over despite overload")
+	}
+}
+
+func TestUserLargerThanPlatformRejected(t *testing.T) {
+	// One user needing more cores than the machine has: rejected, and the
+	// allocator still returns a valid (empty) plan.
+	var ts []time.Duration
+	for i := 0; i < 64; i++ {
+		ts = append(ts, ms(40))
+	}
+	res, err := AllocateContentAware(input(demand(0, ts...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 0 || len(res.Rejected) != 1 {
+		t.Fatalf("admitted=%v rejected=%v", res.Admitted, res.Rejected)
+	}
+	if len(res.Assignments) != 0 {
+		t.Fatal("assignments for a rejected user")
+	}
+	slot := time.Second / 24
+	if _, err := mpsoc.XeonE5_2667V4().SimulateSlot(res.Plans, slot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroTimeThreadsAllocatable(t *testing.T) {
+	// Cold-start estimates can legitimately be zero after clamping; the
+	// allocator must not divide by zero or reject.
+	res, err := AllocateContentAware(input(demand(0, 0, 0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 1 || len(res.Assignments) != 3 {
+		t.Fatalf("admitted=%v assignments=%d", res.Admitted, len(res.Assignments))
+	}
+}
+
+func TestManySmallUsersExactFill(t *testing.T) {
+	// 32 users of exactly one slot each: every core is filled, nothing
+	// rejected, and the DVFS stage keeps all busy cores at fmax for the
+	// full slot (no transitions).
+	slot := time.Second / 24
+	var users []UserDemand
+	for i := 0; i < 32; i++ {
+		users = append(users, demand(i, slot))
+	}
+	res, err := AllocateContentAware(input(users...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Admitted) != 32 {
+		t.Fatalf("admitted %d", len(res.Admitted))
+	}
+	if res.CoresUsed != 32 {
+		t.Fatalf("cores used %d", res.CoresUsed)
+	}
+	for k, plan := range res.Plans {
+		if plan.Transitions != 0 {
+			t.Fatalf("core %d has DVFS transitions despite zero slack", k)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package sched implements the paper's thread allocation and DVFS policy
+// (Algorithm 2) together with the state-of-the-art baseline it is compared
+// against ([19], Khan et al., IEEE TVLSI 2016) and two simpler reference
+// allocators used for ablations.
+//
+// The scheduling model follows the paper: time is divided into slots of
+// 1/FPS seconds; every admitted user contributes one thread per tile of
+// its current frame; a thread's cost is its estimated CPU time at the
+// maximum frequency; threads of different users may share a core as long
+// as the core's accumulated CPU time stays within the slot.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/mpsoc"
+)
+
+// Thread is one schedulable tile-encoding task.
+type Thread struct {
+	// User identifies the owning transcoding session.
+	User int
+	// Tile is the tile index within the user's frame.
+	Tile int
+	// TimeFmax is the estimated CPU time per frame at maximum frequency.
+	TimeFmax time.Duration
+}
+
+// UserDemand aggregates one user's threads for the current GOP.
+type UserDemand struct {
+	User    int
+	Threads []Thread
+}
+
+// TotalTime returns the summed CPU time of the user's threads.
+func (u UserDemand) TotalTime() time.Duration {
+	var sum time.Duration
+	for _, th := range u.Threads {
+		sum += th.TimeFmax
+	}
+	return sum
+}
+
+// CoresNeeded implements line 1 of Algorithm 2: the minimum number of
+// cores for user i is ceil(Σ_j T_fmax,j · FPS) — the user's utilization in
+// core units.
+func (u UserDemand) CoresNeeded(fps float64) int {
+	util := u.TotalTime().Seconds() * fps
+	n := int(math.Ceil(util - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Assignment records where one thread landed.
+type Assignment struct {
+	Thread Thread
+	Core   int
+}
+
+// Result is the outcome of an allocation policy.
+type Result struct {
+	// Admitted lists the admitted user ids (ascending).
+	Admitted []int
+	// Rejected lists users that did not fit (ascending).
+	Rejected []int
+	// Assignments covers every thread of every admitted user.
+	Assignments []Assignment
+	// Plans has one entry per platform core, ready for
+	// mpsoc.Platform.SimulateSlot.
+	Plans []mpsoc.CorePlan
+	// CoresUsed counts cores with non-zero load.
+	CoresUsed int
+}
+
+// Input bundles the allocation problem.
+type Input struct {
+	Platform *mpsoc.Platform
+	// FPS defines the slot length 1/FPS.
+	FPS float64
+	// Users are the candidate sessions (the queue, possibly oversized).
+	Users []UserDemand
+}
+
+// Validate reports input errors.
+func (in Input) Validate() error {
+	if in.Platform == nil {
+		return fmt.Errorf("sched: nil platform")
+	}
+	if err := in.Platform.Validate(); err != nil {
+		return err
+	}
+	if in.FPS <= 0 {
+		return fmt.Errorf("sched: non-positive FPS %v", in.FPS)
+	}
+	seen := make(map[int]bool, len(in.Users))
+	for _, u := range in.Users {
+		if seen[u.User] {
+			return fmt.Errorf("sched: duplicate user id %d", u.User)
+		}
+		seen[u.User] = true
+		if len(u.Threads) == 0 {
+			return fmt.Errorf("sched: user %d has no threads", u.User)
+		}
+		for _, th := range u.Threads {
+			if th.TimeFmax < 0 {
+				return fmt.Errorf("sched: user %d tile %d negative time", u.User, th.Tile)
+			}
+			if th.User != u.User {
+				return fmt.Errorf("sched: thread user %d inside demand of user %d", th.User, u.User)
+			}
+		}
+	}
+	return nil
+}
+
+// slotOf returns the slot duration.
+func (in Input) slotOf() time.Duration {
+	return time.Duration(float64(time.Second) / in.FPS)
+}
+
+// AllocateContentAware runs Algorithm 2:
+//
+//  1. Compute each user's minimum core demand N_core^i (line 1).
+//  2. Admit users in ascending order of demand until the platform's cores
+//     are exhausted (line 2) — this maximizes the number of users served.
+//  3. Allocate every admitted thread to a core minimizing the distance
+//     |Cap − (Load_k + T_j)| where Cap is the running maximum core load
+//     clamped to the slot (lines 3–15). Candidate cores are limited to the
+//     admitted core budget N_core^U (line 4 iterates k = 1 : N_core^U) —
+//     this is what densifies the packing onto the minimum number of cores
+//     instead of balancing across the whole machine.
+//  4. DVFS (lines 16–24): cores whose load fits the slot execute at fmax
+//     and spend their slack at the minimum frequency; overloaded cores run
+//     the whole slot at fmax and carry the residue into the next slot.
+func AllocateContentAware(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	slot := in.slotOf()
+	nc := in.Platform.Cores
+	res := &Result{Plans: make([]mpsoc.CorePlan, nc)}
+
+	// Admission (lines 1–2): ascending core demand; the pool comes back in
+	// longest-processing-time order, which makes the distance-to-cap rule
+	// deterministic and well balanced.
+	pool, err := admitAscending(in, res)
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate core budget N_core^U (line 4): the sum of the admitted
+	// users' core demands — allocation densifies onto these cores only.
+	budget := 0
+	for _, u := range in.Users {
+		if containsID(res.Admitted, u.User) {
+			budget += u.CoresNeeded(in.FPS)
+		}
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > nc {
+		budget = nc
+	}
+
+	// Thread allocation (lines 3–15).
+	loads := make([]time.Duration, nc)
+	for _, th := range pool {
+		// Dynamic cap (lines 5–9).
+		cap := loads[0]
+		for _, l := range loads[1:budget] {
+			if l > cap {
+				cap = l
+			}
+		}
+		if cap > slot {
+			cap = slot
+		}
+		// Distance minimization (lines 10–12), preferring, on ties, the
+		// lowest-numbered core.
+		best, bestDist := -1, time.Duration(math.MaxInt64)
+		for k := 0; k < budget; k++ {
+			cand := loads[k] + th.TimeFmax
+			dist := cand - cap
+			if dist < 0 {
+				dist = -dist
+			}
+			// Never overflow a core beyond the slot if an alternative
+			// exists: overfull cores miss the frame deadline.
+			if cand > slot {
+				dist += cand - slot + slot // heavy penalty, still ordered
+			}
+			if dist < bestDist {
+				best, bestDist = k, dist
+			}
+		}
+		loads[best] += th.TimeFmax
+		res.Assignments = append(res.Assignments, Assignment{Thread: th, Core: best})
+	}
+
+	// DVFS (lines 16–24).
+	finalizeDVFS(in.Platform, loads, slot, res)
+	return res, nil
+}
+
+// finalizeDVFS fills res.Plans and CoresUsed from per-core loads following
+// lines 16–24 of Algorithm 2: work executes at fmax, slack idles at fmin,
+// and cores with no work at all are power-gated for the slot.
+func finalizeDVFS(p *mpsoc.Platform, loads []time.Duration, slot time.Duration, res *Result) {
+	for k, load := range loads {
+		plan := mpsoc.CorePlan{
+			LoadAtFmax: load,
+			BusyLevel:  p.MaxLevel(),
+			IdleLevel:  p.MinLevel(),
+		}
+		if load > 0 {
+			res.CoresUsed++
+			if load < slot {
+				// One switch down to fmin for the slack, one back up for
+				// the next slot's work.
+				plan.Transitions = 2
+			}
+		} else {
+			plan.Gated = true
+		}
+		res.Plans[k] = plan
+	}
+}
+
+// AllocateBaseline implements the allocation of [19] (Khan et al.): the
+// workload-balancing tiler sizes each tile to fill one core's capacity, so
+// exactly one thread runs per core, and all active cores operate at the
+// maximum frequency for the whole slot (the baseline re-tiles only when
+// every core is already pinned at the minimum or maximum frequency, so in
+// the steady state of a saturated server its cores never leave fmax).
+// Admission packs users while their thread counts fit the core budget.
+func AllocateBaseline(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	nc := in.Platform.Cores
+	res := &Result{Plans: make([]mpsoc.CorePlan, nc)}
+
+	// Admit in ascending thread-count order (the analogue of line 2).
+	order := make([]int, len(in.Users))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := len(in.Users[order[a]].Threads), len(in.Users[order[b]].Threads)
+		if da != db {
+			return da < db
+		}
+		return in.Users[order[a]].User < in.Users[order[b]].User
+	})
+	next := 0
+	for _, idx := range order {
+		u := in.Users[idx]
+		if next+len(u.Threads) <= nc {
+			res.Admitted = append(res.Admitted, u.User)
+			for _, th := range u.Threads {
+				res.Assignments = append(res.Assignments, Assignment{Thread: th, Core: next})
+				res.Plans[next].LoadAtFmax += th.TimeFmax
+				next++
+			}
+		} else {
+			res.Rejected = append(res.Rejected, u.User)
+		}
+	}
+	sort.Ints(res.Admitted)
+	sort.Ints(res.Rejected)
+
+	for k := range res.Plans {
+		res.Plans[k].BusyLevel = in.Platform.MaxLevel()
+		// Active cores stay at fmax even while idle (the baseline's power
+		// penalty); cores with no tile are power-gated — both approaches
+		// may gate unused cores, so the comparison stays fair.
+		if res.Plans[k].LoadAtFmax > 0 {
+			res.Plans[k].IdleLevel = in.Platform.MaxLevel()
+			res.CoresUsed++
+		} else {
+			res.Plans[k].IdleLevel = in.Platform.MinLevel()
+			res.Plans[k].Gated = true
+		}
+	}
+	return res, nil
+}
+
+// AllocateGreedyLeastLoaded is an ablation: same admission as Algorithm 2
+// but threads always go to the least-loaded core, and the same DVFS rule
+// applies. Differs from AllocateContentAware in spreading work across all
+// cores instead of densifying — it uses more cores for the same load.
+func AllocateGreedyLeastLoaded(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	slot := in.slotOf()
+	nc := in.Platform.Cores
+	res := &Result{Plans: make([]mpsoc.CorePlan, nc)}
+	pool, err := admitAscending(in, res)
+	if err != nil {
+		return nil, err
+	}
+	loads := make([]time.Duration, nc)
+	for _, th := range pool {
+		best := 0
+		for k := 1; k < nc; k++ {
+			if loads[k] < loads[best] {
+				best = k
+			}
+		}
+		loads[best] += th.TimeFmax
+		res.Assignments = append(res.Assignments, Assignment{Thread: th, Core: best})
+	}
+	finalizeDVFS(in.Platform, loads, slot, res)
+	return res, nil
+}
+
+// AllocateRoundRobin is an ablation: admitted threads are dealt to cores
+// cyclically with no load awareness.
+func AllocateRoundRobin(in Input) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	slot := in.slotOf()
+	nc := in.Platform.Cores
+	res := &Result{Plans: make([]mpsoc.CorePlan, nc)}
+	pool, err := admitAscending(in, res)
+	if err != nil {
+		return nil, err
+	}
+	loads := make([]time.Duration, nc)
+	for i, th := range pool {
+		k := i % nc
+		loads[k] += th.TimeFmax
+		res.Assignments = append(res.Assignments, Assignment{Thread: th, Core: k})
+	}
+	finalizeDVFS(in.Platform, loads, slot, res)
+	return res, nil
+}
+
+// containsID reports membership in a small sorted id slice.
+func containsID(ids []int, v int) bool {
+	for _, x := range ids {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// admitAscending shares Algorithm 2's admission step (ascending core
+// demand) and returns the admitted thread pool in LPT order.
+func admitAscending(in Input, res *Result) ([]Thread, error) {
+	order := make([]int, len(in.Users))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := in.Users[order[a]].CoresNeeded(in.FPS), in.Users[order[b]].CoresNeeded(in.FPS)
+		if da != db {
+			return da < db
+		}
+		return in.Users[order[a]].User < in.Users[order[b]].User
+	})
+	budget := in.Platform.Cores
+	var pool []Thread
+	for _, idx := range order {
+		u := in.Users[idx]
+		need := u.CoresNeeded(in.FPS)
+		if need <= budget {
+			budget -= need
+			res.Admitted = append(res.Admitted, u.User)
+			pool = append(pool, u.Threads...)
+		} else {
+			res.Rejected = append(res.Rejected, u.User)
+		}
+	}
+	sort.Ints(res.Admitted)
+	sort.Ints(res.Rejected)
+	sort.SliceStable(pool, func(a, b int) bool {
+		if pool[a].TimeFmax != pool[b].TimeFmax {
+			return pool[a].TimeFmax > pool[b].TimeFmax
+		}
+		if pool[a].User != pool[b].User {
+			return pool[a].User < pool[b].User
+		}
+		return pool[a].Tile < pool[b].Tile
+	})
+	return pool, nil
+}

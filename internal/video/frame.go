@@ -1,0 +1,125 @@
+package video
+
+import (
+	"fmt"
+	"io"
+)
+
+// Frame is a YUV 4:2:0 picture. The chroma planes are half the luma
+// resolution in each dimension. All of the content-analysis and encoding in
+// this repository operates on luma; chroma is carried for completeness and
+// round-trips through the YUV I/O helpers.
+type Frame struct {
+	Y, Cb, Cr *Plane
+	// Number is the display order index within the sequence (0-based).
+	Number int
+	// PTS is the presentation time in seconds at the sequence frame rate.
+	PTS float64
+}
+
+// NewFrame allocates a zeroed YUV 4:2:0 frame. Width and height must be
+// even so that the subsampled chroma planes are well defined.
+func NewFrame(w, h int) *Frame {
+	if w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("video: frame size %dx%d must be even for 4:2:0", w, h))
+	}
+	return &Frame{
+		Y:  NewPlane(w, h),
+		Cb: NewPlane(w/2, h/2),
+		Cr: NewPlane(w/2, h/2),
+	}
+}
+
+// Width returns the luma width.
+func (f *Frame) Width() int { return f.Y.W }
+
+// Height returns the luma height.
+func (f *Frame) Height() int { return f.Y.H }
+
+// Clone deep-copies the frame.
+func (f *Frame) Clone() *Frame {
+	return &Frame{Y: f.Y.Clone(), Cb: f.Cb.Clone(), Cr: f.Cr.Clone(), Number: f.Number, PTS: f.PTS}
+}
+
+// FillGray sets luma to y and both chroma planes to neutral (128).
+func (f *Frame) FillGray(y uint8) {
+	f.Y.Fill(y)
+	f.Cb.Fill(128)
+	f.Cr.Fill(128)
+}
+
+// WriteYUV appends the frame in planar I420 layout (Y then Cb then Cr,
+// compact rows) to w, e.g. for inspection with external raw-YUV players.
+func (f *Frame) WriteYUV(w io.Writer) error {
+	for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
+		for y := 0; y < p.H; y++ {
+			if _, err := w.Write(p.Row(y)); err != nil {
+				return fmt.Errorf("video: write yuv: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadYUV reads one planar I420 frame of the given luma dimensions from r.
+// It returns io.ErrUnexpectedEOF if the stream ends mid-frame and io.EOF if
+// it ends cleanly before any byte of the frame.
+func ReadYUV(r io.Reader, w, h int) (*Frame, error) {
+	f := NewFrame(w, h)
+	first := true
+	for _, p := range []*Plane{f.Y, f.Cb, f.Cr} {
+		for y := 0; y < p.H; y++ {
+			if _, err := io.ReadFull(r, p.Row(y)); err != nil {
+				if err == io.EOF && first {
+					return nil, io.EOF
+				}
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+			first = false
+		}
+	}
+	return f, nil
+}
+
+// Sequence is an ordered list of frames sharing one geometry and frame rate.
+type Sequence struct {
+	Frames []*Frame
+	FPS    float64
+}
+
+// NewSequence wraps frames with a frame rate, assigning Number and PTS.
+func NewSequence(fps float64, frames ...*Frame) *Sequence {
+	s := &Sequence{Frames: frames, FPS: fps}
+	for i, f := range frames {
+		f.Number = i
+		if fps > 0 {
+			f.PTS = float64(i) / fps
+		}
+	}
+	return s
+}
+
+// Duration returns the sequence duration in seconds.
+func (s *Sequence) Duration() float64 {
+	if s.FPS <= 0 {
+		return 0
+	}
+	return float64(len(s.Frames)) / s.FPS
+}
+
+// Validate checks that all frames share one geometry.
+func (s *Sequence) Validate() error {
+	if len(s.Frames) == 0 {
+		return nil
+	}
+	w, h := s.Frames[0].Width(), s.Frames[0].Height()
+	for i, f := range s.Frames {
+		if f.Width() != w || f.Height() != h {
+			return fmt.Errorf("video: frame %d is %dx%d, want %dx%d: %w", i, f.Width(), f.Height(), w, h, ErrSizeMismatch)
+		}
+	}
+	return nil
+}

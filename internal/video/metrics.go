@@ -1,0 +1,125 @@
+package video
+
+import (
+	"fmt"
+	"math"
+)
+
+// MSE returns the mean squared error between two planes of equal size.
+func MSE(a, b *Plane) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("video: mse %dx%d vs %dx%d: %w", a.W, a.H, b.W, b.H, ErrSizeMismatch)
+	}
+	var sum uint64
+	for y := 0; y < a.H; y++ {
+		ra, rb := a.Row(y), b.Row(y)
+		for x := range ra {
+			d := int(ra[x]) - int(rb[x])
+			sum += uint64(d * d)
+		}
+	}
+	return float64(sum) / float64(a.W*a.H), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two planes.
+// Identical planes return +Inf.
+func PSNR(a, b *Plane) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// FramePSNR returns the luma PSNR between two frames.
+func FramePSNR(a, b *Frame) (float64, error) { return PSNR(a.Y, b.Y) }
+
+// CapPSNR bounds a possibly infinite PSNR for aggregation: lossless blocks
+// are conventionally counted at cap dB (commonly 100) so that sequence
+// averages stay finite.
+func CapPSNR(psnr, cap float64) float64 {
+	if math.IsInf(psnr, 1) || psnr > cap {
+		return cap
+	}
+	return psnr
+}
+
+// SSIM computes the structural similarity index between two planes using
+// the standard 8×8 non-overlapping window variant with K1=0.01, K2=0.03 and
+// L=255. It is used by tests as an independent fidelity check on the codec.
+func SSIM(a, b *Plane) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("video: ssim %dx%d vs %dx%d: %w", a.W, a.H, b.W, b.H, ErrSizeMismatch)
+	}
+	const (
+		c1  = (0.01 * 255) * (0.01 * 255)
+		c2  = (0.03 * 255) * (0.03 * 255)
+		win = 8
+	)
+	var total float64
+	var n int
+	for by := 0; by+win <= a.H; by += win {
+		for bx := 0; bx+win <= a.W; bx += win {
+			var sa, sb, saa, sbb, sab float64
+			for y := by; y < by+win; y++ {
+				ra, rb := a.Row(y), b.Row(y)
+				for x := bx; x < bx+win; x++ {
+					va, vb := float64(ra[x]), float64(rb[x])
+					sa += va
+					sb += vb
+					saa += va * va
+					sbb += vb * vb
+					sab += va * vb
+				}
+			}
+			np := float64(win * win)
+			ma, mb := sa/np, sb/np
+			va := saa/np - ma*ma
+			vb := sbb/np - mb*mb
+			cov := sab/np - ma*mb
+			num := (2*ma*mb + c1) * (2*cov + c2)
+			den := (ma*ma + mb*mb + c1) * (va + vb + c2)
+			total += num / den
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("video: ssim: planes smaller than %dx%d window", win, win)
+	}
+	return total / float64(n), nil
+}
+
+// SAD returns the sum of absolute differences between two equally sized
+// planes. It is exposed here for metric-level use; the motion package has
+// its own hot-path SAD over sub-windows.
+func SAD(a, b *Plane) (int64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("video: sad %dx%d vs %dx%d: %w", a.W, a.H, b.W, b.H, ErrSizeMismatch)
+	}
+	var sum int64
+	for y := 0; y < a.H; y++ {
+		ra, rb := a.Row(y), b.Row(y)
+		for x := range ra {
+			d := int(ra[x]) - int(rb[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += int64(d)
+		}
+	}
+	return sum, nil
+}
+
+// ClampU8 clamps an int to the 8-bit sample range.
+func ClampU8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

@@ -1,0 +1,320 @@
+// Package workload implements the paper's LUT-based per-tile CPU-time
+// estimation (Sec. III-D1). The look-up table is keyed by a coarse tile
+// descriptor — tile area class, texture class, motion class, QP bucket and
+// search level — and stores a histogram of observed encode times which is
+// updated online throughout the encoding process. Because the re-tiler
+// produces a limited number of attainable tile structures and the encoder
+// a limited number of configurations, the key space is small and the LUT
+// converges quickly; the paper reports over/under-estimation below 100 µs
+// once enough frames have been processed.
+//
+// Medical videos are classifiable into a small set of body-part categories
+// (bones, lung and chest, brain, ...), and the LUT learned on one video
+// transfers to other videos of the same class; Store keeps one LUT per
+// class and hands out shared references.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Area classes bucket tile pixel counts so similar tiles share histograms.
+// Boundaries chosen around the re-tiler's attainable tile sizes for
+// 640×480: min tiles are 64×64 = 4096 px, center tiles typically 60–160 px
+// squares, grown corner tiles larger.
+var areaBounds = []int{6 * 1024, 12 * 1024, 24 * 1024, 48 * 1024}
+
+// Key identifies one histogram in the LUT.
+type Key struct {
+	// AreaClass ∈ [0, len(areaBounds)] buckets the tile pixel count.
+	AreaClass int
+	// Texture ∈ {0,1,2} and Motion ∈ {0,1} mirror the analysis classes.
+	Texture int
+	Motion  int
+	// QPBucket groups QP into the paper's five operating points
+	// (22, 27, 32, 37, 42 → nearest).
+	QPBucket int
+	// SearchLevel encodes the search effort: the log2 of the window.
+	SearchLevel int
+}
+
+// String formats the key compactly for traces.
+func (k Key) String() string {
+	return fmt.Sprintf("a%d/t%d/m%d/q%d/s%d", k.AreaClass, k.Texture, k.Motion, k.QPBucket, k.SearchLevel)
+}
+
+// AreaClass buckets a tile area in pixels.
+func AreaClass(area int) int {
+	for i, b := range areaBounds {
+		if area <= b {
+			return i
+		}
+	}
+	return len(areaBounds)
+}
+
+// QPBucket maps a QP to the nearest paper operating point index
+// (0→22, 1→27, 2→32, 3→37, 4→42).
+func QPBucket(qp int) int {
+	points := []int{22, 27, 32, 37, 42}
+	best, bestD := 0, 1<<30
+	for i, p := range points {
+		d := qp - p
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// SearchLevel maps a search window to a small level index (8→3, 16→4,
+// 32→5, 64→6); non-power-of-two windows round down.
+func SearchLevel(window int) int {
+	level := 0
+	for w := window; w > 1; w >>= 1 {
+		level++
+	}
+	return level
+}
+
+// MakeKey assembles a Key from raw tile properties.
+func MakeKey(area int, texture, motion, qp, window int) Key {
+	return Key{
+		AreaClass:   AreaClass(area),
+		Texture:     texture,
+		Motion:      motion,
+		QPBucket:    QPBucket(qp),
+		SearchLevel: SearchLevel(window),
+	}
+}
+
+// numBins covers durations up to 2^23 µs ≈ 8.4 s per tile, far beyond any
+// realistic tile encode time.
+const numBins = 24
+
+// histogram tracks observed durations with power-of-two µs bins plus exact
+// aggregates for the mean.
+type histogram struct {
+	count uint64
+	sum   time.Duration
+	// bins[i] counts observations in [2^i, 2^(i+1)) µs; bins[0] includes 0.
+	bins [numBins]uint64
+}
+
+func binFor(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < numBins-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+func (h *histogram) add(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.sum += d
+	h.bins[binFor(d)]++
+}
+
+// mean returns the average observed duration (0 when empty).
+func (h *histogram) mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(h.sum) / int64(h.count))
+}
+
+// LUT is the per-class look-up table. It is safe for concurrent use: tiles
+// of one frame are encoded in parallel and all report observations.
+type LUT struct {
+	mu sync.RWMutex
+	m  map[Key]*histogram
+	// fallbackMean supports estimation before a key has observations.
+	fallbackSum   time.Duration
+	fallbackCount uint64
+	// estimation error accounting
+	errSum   time.Duration
+	errCount uint64
+}
+
+// NewLUT returns an empty table.
+func NewLUT() *LUT { return &LUT{m: make(map[Key]*histogram)} }
+
+// Observe records a measured tile encode time under key k. If a prior
+// estimate existed for k, the estimation error statistic is updated first.
+func (l *LUT) Observe(k Key, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if h, ok := l.m[k]; ok && h.count > 0 {
+		e := h.mean() - d
+		if e < 0 {
+			e = -e
+		}
+		l.errSum += e
+		l.errCount++
+	}
+	h := l.m[k]
+	if h == nil {
+		h = &histogram{}
+		l.m[k] = h
+	}
+	h.add(d)
+	l.fallbackSum += d
+	l.fallbackCount++
+}
+
+// Estimate predicts the encode time for key k. Unknown keys fall back to
+// the nearest known key (same texture/motion, closest area and QP), then to
+// the global mean, then to a conservative fixed prior.
+func (l *LUT) Estimate(k Key) time.Duration {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if h, ok := l.m[k]; ok && h.count > 0 {
+		return h.mean()
+	}
+	// Nearest-key fallback: scan for the minimum key distance with data.
+	var best *histogram
+	bestD := 1 << 30
+	for kk, h := range l.m {
+		if h.count == 0 {
+			continue
+		}
+		d := keyDistance(k, kk)
+		if d < bestD {
+			best, bestD = h, d
+		}
+	}
+	if best != nil {
+		return best.mean()
+	}
+	if l.fallbackCount > 0 {
+		return time.Duration(int64(l.fallbackSum) / int64(l.fallbackCount))
+	}
+	// Conservative prior: a dense 640×480 tile at fmax. Overestimation is
+	// safe (the allocator reserves too much and releases slack via DVFS).
+	return 5 * time.Millisecond
+}
+
+// keyDistance is a weighted L1 distance over key fields; texture/motion
+// mismatches cost most because they change the encode path the most.
+func keyDistance(a, b Key) int {
+	d := 0
+	d += 4 * abs(a.Texture-b.Texture)
+	d += 4 * abs(a.Motion-b.Motion)
+	d += 2 * abs(a.AreaClass-b.AreaClass)
+	d += abs(a.QPBucket - b.QPBucket)
+	d += abs(a.SearchLevel - b.SearchLevel)
+	return d
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MeanAbsError returns the running mean absolute estimation error and the
+// number of re-observations it is based on. The paper reports < 100 µs
+// once the table is warm.
+func (l *LUT) MeanAbsError() (time.Duration, uint64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.errCount == 0 {
+		return 0, 0
+	}
+	return time.Duration(int64(l.errSum) / int64(l.errCount)), l.errCount
+}
+
+// Keys returns the known keys in deterministic order (for traces/tests).
+func (l *LUT) Keys() []Key {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Key, 0, len(l.m))
+	for k := range l.m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func less(a, b Key) bool {
+	if a.AreaClass != b.AreaClass {
+		return a.AreaClass < b.AreaClass
+	}
+	if a.Texture != b.Texture {
+		return a.Texture < b.Texture
+	}
+	if a.Motion != b.Motion {
+		return a.Motion < b.Motion
+	}
+	if a.QPBucket != b.QPBucket {
+		return a.QPBucket < b.QPBucket
+	}
+	return a.SearchLevel < b.SearchLevel
+}
+
+// Observations returns the total number of recorded samples.
+func (l *LUT) Observations() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.fallbackCount
+}
+
+// Histogram returns a copy of the per-bin counts for a key (for traces).
+func (l *LUT) Histogram(k Key) ([]uint64, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	h, ok := l.m[k]
+	if !ok {
+		return nil, false
+	}
+	out := make([]uint64, len(h.bins))
+	copy(out, h.bins[:])
+	return out, true
+}
+
+// Store keeps one LUT per body-part class so concurrent transcoding
+// sessions of the same class share and jointly refine one table.
+type Store struct {
+	mu   sync.Mutex
+	luts map[string]*LUT
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{luts: make(map[string]*LUT)} }
+
+// ForClass returns the LUT shared by all videos of the named class,
+// creating it on first use.
+func (s *Store) ForClass(class string) *LUT {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.luts[class]
+	if !ok {
+		l = NewLUT()
+		s.luts[class] = l
+	}
+	return l
+}
+
+// Classes returns the known class names in sorted order.
+func (s *Store) Classes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.luts))
+	for c := range s.luts {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
