@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/medgen"
@@ -84,9 +87,17 @@ func main() {
 	fmt.Printf("transcoding %s/%s %dx%d @ %g fps, %d frames, mode %s\n\n",
 		cfg.Class, cfg.Motion, cfg.Width, cfg.Height, cfg.FPS, cfg.Frames, scfg.Mode)
 
+	// An interrupt cancels cleanly at the next tile boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	gopIdx := 0
 	for !sess.Finished() {
-		gop, err := sess.EncodeGOP()
+		gop, err := sess.EncodeGOPContext(ctx, *workers)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "transcode: interrupted")
+			os.Exit(130)
+		}
 		if err != nil {
 			fatalf("GOP %d: %v", gopIdx, err)
 		}

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/medgen"
@@ -62,17 +63,22 @@ func main() {
 			}
 		}
 
+		// The admitted sessions encode concurrently: each gets the tile
+		// parallelism its thread allocation planned (see out.Allocation).
+		start := time.Now()
 		out, err := srv.ServeGOP()
 		if err != nil {
 			log.Fatal(err)
 		}
+		wall := time.Since(start)
 		fmt.Printf("== %s ==\n", setup.name)
-		fmt.Printf("admitted %d/%d users, %d cores in use, %.1f W average\n",
-			len(out.AdmittedUsers), queueLen, out.Allocation.CoresUsed, out.Energy.AvgPowerW)
+		fmt.Printf("admitted %d/%d users, %d cores in use, %.1f W average, round wall time %v\n",
+			len(out.AdmittedUsers), queueLen, out.Allocation.CoresUsed, out.Energy.AvgPowerW, wall.Round(time.Millisecond))
 		for _, id := range out.AdmittedUsers {
 			gop := out.GOPs[id]
-			fmt.Printf("   user %2d (%s): %2d tiles, %.1f dB, %.0f kbps\n",
-				id, srv.Sessions()[id].Config().Mode, gop.Grid.NumTiles(), gop.MeanPSNR, gop.MeanKbps)
+			fmt.Printf("   user %2d (%s): %2d tiles on %d cores, %.1f dB, %.0f kbps\n",
+				id, srv.Sessions()[id].Config().Mode, gop.Grid.NumTiles(),
+				out.Allocation.CoresOf(id), gop.MeanPSNR, gop.MeanKbps)
 		}
 		if len(out.RejectedUsers) > 0 {
 			fmt.Printf("   waiting: users %v\n", out.RejectedUsers)

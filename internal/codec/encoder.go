@@ -1,8 +1,10 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,21 +51,31 @@ func (e *Encoder) Reference() *video.Frame { return e.ref }
 // Tiles are processed sequentially; see EncodeFrameParallel for the
 // tile-parallel variant.
 func (e *Encoder) EncodeFrame(f *video.Frame, grid *tiling.Grid, params []TileParams) (*FrameStats, *Bitstream, error) {
-	return e.encode(f, grid, params, 1)
+	return e.encode(context.Background(), f, grid, params, 1)
 }
 
 // EncodeFrameParallel is EncodeFrame with tiles encoded by up to workers
 // goroutines. Tiles are fully independent (separate bitstreams, disjoint
 // reconstruction regions, read-only shared reference), which is exactly the
-// property the paper's thread-level parallelization relies on.
+// property the paper's thread-level parallelization relies on. The worker
+// budget is per call, so a serving loop can give each frame exactly the
+// parallelism its session's core allocation planned.
 func (e *Encoder) EncodeFrameParallel(f *video.Frame, grid *tiling.Grid, params []TileParams, workers int) (*FrameStats, *Bitstream, error) {
+	return e.EncodeFrameContext(context.Background(), f, grid, params, workers)
+}
+
+// EncodeFrameContext is EncodeFrameParallel with cancellation: tile
+// dispatch stops at the first cancelled tile boundary and ctx's error is
+// returned. On any error — cancellation included — the encoder's reference
+// and frame counter are left untouched, so the same frame can be retried.
+func (e *Encoder) EncodeFrameContext(ctx context.Context, f *video.Frame, grid *tiling.Grid, params []TileParams, workers int) (*FrameStats, *Bitstream, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	return e.encode(f, grid, params, workers)
+	return e.encode(ctx, f, grid, params, workers)
 }
 
-func (e *Encoder) encode(f *video.Frame, grid *tiling.Grid, params []TileParams, workers int) (*FrameStats, *Bitstream, error) {
+func (e *Encoder) encode(ctx context.Context, f *video.Frame, grid *tiling.Grid, params []TileParams, workers int) (*FrameStats, *Bitstream, error) {
 	if f.Width() != e.cfg.Width || f.Height() != e.cfg.Height {
 		return nil, nil, fmt.Errorf("codec: frame %dx%d, encoder configured %dx%d",
 			f.Width(), f.Height(), e.cfg.Width, e.cfg.Height)
@@ -108,7 +120,13 @@ func (e *Encoder) encode(f *video.Frame, grid *tiling.Grid, params []TileParams,
 
 	if workers == 1 || len(grid.Tiles) == 1 {
 		for i := range grid.Tiles {
-			if err := encodeOne(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			hostSlots <- struct{}{}
+			err := encodeOne(i)
+			<-hostSlots
+			if err != nil {
 				return nil, nil, err
 			}
 		}
@@ -120,11 +138,21 @@ func (e *Encoder) encode(f *video.Frame, grid *tiling.Grid, params []TileParams,
 		)
 		sem := make(chan struct{}, workers)
 		for i := range grid.Tiles {
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				if rerr == nil {
+					rerr = err
+				}
+				mu.Unlock()
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				hostSlots <- struct{}{}
+				defer func() { <-hostSlots }()
 				if err := encodeOne(i); err != nil {
 					mu.Lock()
 					if rerr == nil {
@@ -162,6 +190,15 @@ func (e *Encoder) encode(f *video.Frame, grid *tiling.Grid, params []TileParams,
 	e.frames++
 	return stats, bs, nil
 }
+
+// hostSlots bounds the number of tile encodes running concurrently in the
+// whole process to the host's parallelism. Without it, a multi-session
+// server can oversubscribe the host (sessions × per-session workers ≫
+// cores) and every tile's measured EncodeTime — wall clock, stamped after
+// the slot is acquired — would include scheduler wait from other sessions,
+// poisoning the workload LUT that drives admission control. With the gate,
+// a running tile effectively owns a core, so wall time ≈ CPU time.
+var hostSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 // psnrFromSSE converts a summed squared error over n samples to PSNR,
 // capping lossless at 100 dB.

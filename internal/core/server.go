@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/mpsoc"
@@ -22,7 +24,10 @@ type ServerConfig struct {
 	// Allocator is the thread allocation + DVFS policy. Nil selects
 	// Algorithm 2.
 	Allocator AllocatorFunc
-	// Workers bounds per-frame tile parallelism during actual encoding.
+	// Workers bounds per-frame tile parallelism when no allocation is in
+	// effect (Sequential mode, or a session driven outside the server).
+	// In the concurrent serving loop each session's budget instead comes
+	// from the cores the allocator assigned to it that round.
 	Workers int
 	// TimeScale calibrates measured host encode times to the simulated
 	// platform: thread CPU-time estimates are multiplied by this factor
@@ -32,12 +37,19 @@ type ServerConfig struct {
 	// TimeScale so that per-user demand lands in the paper's regime
 	// (~1.5–4 cores per user). 0 or 1 disables scaling.
 	TimeScale float64
+	// Sequential serves admitted sessions one after another with the
+	// fixed Workers budget — the pre-concurrency reference path. Encoded
+	// output is bit-identical between the two modes (sessions share no
+	// order-sensitive state); tests and benchmarks compare against it.
+	Sequential bool
 }
 
 // Server serves many transcoding sessions on one platform: each GOP it
 // collects the sessions' workload estimates (stage D1), allocates threads
 // to cores and sets frequencies (stage D2), simulates the slot energy, and
-// encodes the admitted sessions' frames.
+// encodes the admitted sessions' frames — concurrently, one goroutine per
+// admitted session, each budgeted with the tile parallelism its allocation
+// planned (DESIGN.md §6).
 type Server struct {
 	cfg      ServerConfig
 	store    *workload.Store
@@ -90,7 +102,9 @@ type GOPOutcome struct {
 	// replayed over the GOP (GOPSize slots).
 	Energy *mpsoc.SlotReport
 	// GOPs holds the encoding outcome per admitted session (keyed by
-	// session ID).
+	// session ID). When ServeGOP returns an error alongside the outcome,
+	// GOPs covers the sessions whose encode completed before the failure
+	// — callers can still account their energy and quality.
 	GOPs map[int]*GOPReport
 	// AdmittedUsers and RejectedUsers mirror the allocation.
 	AdmittedUsers, RejectedUsers []int
@@ -98,8 +112,24 @@ type GOPOutcome struct {
 
 // ServeGOP runs one full round: estimate → allocate → simulate → encode.
 // Sessions that are finished are skipped; if every session is finished an
-// error is returned.
+// error is returned. See ServeGOPContext for the error contract.
 func (s *Server) ServeGOP() (*GOPOutcome, error) {
+	return s.ServeGOPContext(context.Background())
+}
+
+// ServeGOPContext is ServeGOP with cancellation. The admitted sessions
+// encode concurrently, each with the tile-worker budget of its allocated
+// cores, and every session that finishes its GOP immediately runs stage
+// A–C analysis for its next GOP so the following round's estimation is
+// already prepared (estimate-ahead, overlapping the slower sessions'
+// encodes). If any session fails, the round's partial outcome is returned
+// alongside the error: the other sessions' completed GOP reports are in
+// GOPs. After a cancellation, sessions may be stopped mid-GOP and the
+// server must not be reused.
+func (s *Server) ServeGOPContext(ctx context.Context) (*GOPOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var demands []sched.UserDemand
 	active := make(map[int]*Session)
 	for _, sess := range s.sessions {
@@ -147,15 +177,70 @@ func (s *Server) ServeGOP() (*GOPOutcome, error) {
 		AdmittedUsers: alloc.Admitted,
 		RejectedUsers: alloc.Rejected,
 	}
+	if s.cfg.Sequential {
+		err = s.encodeSequential(ctx, alloc, active, out)
+	} else {
+		err = s.encodeConcurrent(ctx, alloc, active, out)
+	}
+	return out, err
+}
+
+// encodeSequential is the reference serving path: admitted sessions encode
+// one after another with the server's fixed worker budget. A failure stops
+// the round, but the sessions already encoded keep their reports in out.
+func (s *Server) encodeSequential(ctx context.Context, alloc *sched.Result, active map[int]*Session, out *GOPOutcome) error {
 	for _, id := range alloc.Admitted {
-		sess := active[id]
-		gop, err := sess.EncodeGOP()
+		gop, err := active[id].EncodeGOPContext(ctx, 0)
 		if err != nil {
-			return nil, fmt.Errorf("core: session %d: %w", id, err)
+			return fmt.Errorf("core: session %d: %w", id, err)
 		}
 		out.GOPs[id] = gop
 	}
-	return out, nil
+	return nil
+}
+
+// encodeConcurrent runs the admitted sessions in parallel, one goroutine
+// per session. Each session's intra-frame tile parallelism is budgeted
+// from the cores the allocator assigned to it this round, so the execution
+// mirrors the plan the platform simulation priced. Encoded output does not
+// depend on goroutine scheduling: sessions share only the internally
+// synchronized, order-insensitive workload LUT, and per-session state is
+// touched by exactly one goroutine.
+func (s *Server) encodeConcurrent(ctx context.Context, alloc *sched.Result, active map[int]*Session, out *GOPOutcome) error {
+	gops := make([]*GOPReport, len(alloc.Admitted))
+	errs := make([]error, len(alloc.Admitted))
+	var wg sync.WaitGroup
+	for i, id := range alloc.Admitted {
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			gop, err := sess.EncodeGOPContext(ctx, alloc.CoresOf(sess.ID))
+			if err != nil {
+				errs[i] = fmt.Errorf("core: session %d: %w", sess.ID, err)
+				return
+			}
+			gops[i] = gop
+			// Estimate-ahead: prepare the next GOP's stages A–C now, while
+			// slower sessions are still encoding, so the next round's
+			// estimation loop finds the analysis already done.
+			if !sess.Finished() {
+				if err := sess.PrepareForEstimation(); err != nil {
+					errs[i] = fmt.Errorf("core: session %d: estimate-ahead: %w", sess.ID, err)
+				}
+			}
+		}(i, active[id])
+	}
+	wg.Wait()
+	var first error
+	for i, id := range alloc.Admitted {
+		if gops[i] != nil {
+			out.GOPs[id] = gops[i]
+		}
+		if errs[i] != nil && first == nil {
+			first = errs[i]
+		}
+	}
+	return first
 }
 
 // ServeAll runs ServeGOP until every session finishes or maxRounds is
@@ -163,6 +248,13 @@ func (s *Server) ServeGOP() (*GOPOutcome, error) {
 // again in the next (the paper's saturated-queue regime keeps the rejected
 // users waiting).
 func (s *Server) ServeAll(maxRounds int) ([]*GOPOutcome, error) {
+	return s.ServeAllContext(context.Background(), maxRounds)
+}
+
+// ServeAllContext is ServeAll with cancellation. On a round error the
+// outcomes returned include that round's partial outcome (if any), so the
+// completed sessions' work remains accountable.
+func (s *Server) ServeAllContext(ctx context.Context, maxRounds int) ([]*GOPOutcome, error) {
 	var outs []*GOPOutcome
 	for round := 0; round < maxRounds; round++ {
 		done := true
@@ -175,11 +267,13 @@ func (s *Server) ServeAll(maxRounds int) ([]*GOPOutcome, error) {
 		if done {
 			return outs, nil
 		}
-		out, err := s.ServeGOP()
+		out, err := s.ServeGOPContext(ctx)
+		if out != nil {
+			outs = append(outs, out)
+		}
 		if err != nil {
 			return outs, err
 		}
-		outs = append(outs, out)
 		if len(out.AdmittedUsers) == 0 {
 			return outs, fmt.Errorf("core: no user admitted in round %d — demands exceed platform", round)
 		}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/medgen"
+	"repro/internal/mpsoc"
+	"repro/internal/sched"
+	"repro/internal/video"
+	"repro/internal/workload"
+)
+
+// fourUserServer builds a server with four sessions of distinct body-part
+// classes over an over-provisioned platform, so every round admits all
+// users in both serving modes and outputs are comparable frame by frame.
+func fourUserServer(t *testing.T, sequential bool) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Platform:   mpsoc.XeonE5_2667V4(),
+		FPS:        24,
+		Workers:    2,
+		Sequential: sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []struct {
+		class  medgen.Class
+		motion medgen.MotionKind
+	}{
+		{medgen.Brain, medgen.Rotate},
+		{medgen.Chest, medgen.Pan},
+		{medgen.Bone, medgen.Sweep},
+		{medgen.SpinalCord, medgen.Still},
+	}
+	for _, sp := range specs {
+		src := testSource(t, sp.class, sp.motion, 8)
+		if _, err := srv.AddSession(src, testSessionConfig(ModeProposed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return srv
+}
+
+// TestServeAllConcurrentMatchesSequential is the bit-identity contract of
+// the concurrent serving loop: four sessions served in parallel must
+// produce exactly the bitstreams the sequential reference path produces.
+// Run under -race this also exercises the cross-session concurrency.
+func TestServeAllConcurrentMatchesSequential(t *testing.T) {
+	seq := fourUserServer(t, true)
+	par := fourUserServer(t, false)
+
+	seqOuts, err := seq.ServeAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parOuts, err := par.ServeAll(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqOuts) != len(parOuts) {
+		t.Fatalf("rounds: sequential %d, concurrent %d", len(seqOuts), len(parOuts))
+	}
+	for round := range seqOuts {
+		so, po := seqOuts[round], parOuts[round]
+		if !equalInts(so.AdmittedUsers, po.AdmittedUsers) {
+			t.Fatalf("round %d admitted: sequential %v, concurrent %v", round, so.AdmittedUsers, po.AdmittedUsers)
+		}
+		for _, id := range so.AdmittedUsers {
+			sg, pg := so.GOPs[id], po.GOPs[id]
+			if sg == nil || pg == nil {
+				t.Fatalf("round %d user %d missing GOP report", round, id)
+			}
+			if sg.Digest != pg.Digest {
+				t.Fatalf("round %d user %d: bitstream digest %x (sequential) != %x (concurrent)",
+					round, id, sg.Digest, pg.Digest)
+			}
+			if len(sg.Frames) != len(pg.Frames) {
+				t.Fatalf("round %d user %d: frame counts differ", round, id)
+			}
+			for i := range sg.Frames {
+				sf, pf := sg.Frames[i], pg.Frames[i]
+				if sf.Bits != pf.Bits || sf.PSNR != pf.PSNR || sf.Digest != pf.Digest {
+					t.Fatalf("round %d user %d frame %d: sequential (%d bits, %.3f dB, %x) != concurrent (%d bits, %.3f dB, %x)",
+						round, id, i, sf.Bits, sf.PSNR, sf.Digest, pf.Bits, pf.PSNR, pf.Digest)
+				}
+			}
+		}
+	}
+	for i, sess := range par.Sessions() {
+		if !sess.Finished() {
+			t.Fatalf("concurrent session %d not finished", i)
+		}
+	}
+}
+
+// TestConcurrentWorkersFollowAllocation checks that the serving loop hands
+// each session the parallelism its allocation planned rather than the
+// global Workers constant.
+func TestConcurrentWorkersFollowAllocation(t *testing.T) {
+	srv := fourUserServer(t, false)
+	out, err := srv.ServeGOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Allocation.UserCores == nil {
+		t.Fatal("allocation has no per-user core counts")
+	}
+	for _, id := range out.AdmittedUsers {
+		if got := out.Allocation.CoresOf(id); got < 1 {
+			t.Fatalf("user %d core budget %d", id, got)
+		}
+	}
+}
+
+// rejectUserOnce wraps Algorithm 2 so a chosen user is refused exactly
+// once — the following rounds use the plain allocator.
+func rejectUserOnce(user int) AllocatorFunc {
+	done := false
+	return func(in sched.Input) (*sched.Result, error) {
+		if done {
+			return sched.AllocateContentAware(in)
+		}
+		done = true
+		kept := in
+		kept.Users = nil
+		for _, u := range in.Users {
+			if u.User != user {
+				kept.Users = append(kept.Users, u)
+			}
+		}
+		res, err := sched.AllocateContentAware(kept)
+		if err != nil {
+			return nil, err
+		}
+		res.Rejected = append(res.Rejected, user)
+		sort.Ints(res.Rejected)
+		return res, nil
+	}
+}
+
+// TestRejectedSessionReestimatesCleanly serves a session that is rejected
+// in round 1 and admitted in round 2, and checks its encoded output is
+// identical to a session that was never rejected: rejection must leave no
+// stale grid or adaptation state behind.
+func TestRejectedSessionReestimatesCleanly(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Platform:  mpsoc.XeonE5_2667V4(),
+		FPS:       24,
+		Allocator: rejectUserOnce(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := testSource(t, medgen.Brain, medgen.Rotate, 8)
+	other := testSource(t, medgen.Chest, medgen.Pan, 8)
+	if _, err := srv.AddSession(victim, testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.AddSession(other, testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+
+	out1, err := srv.ServeGOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsInt(out1.AdmittedUsers, 0) || !containsInt(out1.RejectedUsers, 0) {
+		t.Fatalf("round 1 should reject user 0: admitted %v rejected %v", out1.AdmittedUsers, out1.RejectedUsers)
+	}
+	if srv.Sessions()[0].NextFrame() != 0 {
+		t.Fatalf("rejected session advanced to frame %d", srv.Sessions()[0].NextFrame())
+	}
+
+	out2, err := srv.ServeGOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsInt(out2.AdmittedUsers, 0) {
+		t.Fatalf("round 2 should admit user 0: %v", out2.AdmittedUsers)
+	}
+
+	// Control: the same video encoded by a session that was never parked.
+	control, err := NewSession(0, testSource(t, medgen.Brain, medgen.Rotate, 8),
+		testSessionConfig(ModeProposed), workload.NewLUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := control.PrepareForEstimation(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := control.EncodeGOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out2.GOPs[0]
+	if got.Digest != want.Digest {
+		t.Fatalf("post-rejection GOP digest %x differs from control %x — stale state after rejection", got.Digest, want.Digest)
+	}
+}
+
+// badAfterSource serves valid frames up to badFrom, then frames of the
+// wrong geometry so the encoder fails mid-GOP.
+type badAfterSource struct {
+	FrameSource
+	badFrom int
+}
+
+func (b *badAfterSource) Frame(n int) *video.Frame {
+	if n >= b.badFrom {
+		return video.NewFrame(8, 8)
+	}
+	return b.FrameSource.Frame(n)
+}
+
+// TestServeGOPReturnsPartialOutcomeOnError checks the error contract: when
+// one session fails mid-round, the outcome still carries the completed
+// sessions' GOP reports so their energy/quality can be accounted.
+func TestServeGOPReturnsPartialOutcomeOnError(t *testing.T) {
+	for _, sequential := range []bool{false, true} {
+		srv, err := NewServer(ServerConfig{
+			Platform:   mpsoc.XeonE5_2667V4(),
+			FPS:        24,
+			Sequential: sequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		good := testSource(t, medgen.Brain, medgen.Rotate, 8)
+		bad := &badAfterSource{FrameSource: testSource(t, medgen.Chest, medgen.Pan, 8), badFrom: 1}
+		if _, err := srv.AddSession(good, testSessionConfig(ModeProposed)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.AddSession(bad, testSessionConfig(ModeProposed)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := srv.ServeGOP()
+		if err == nil {
+			t.Fatal("round with a failing session succeeded")
+		}
+		if !strings.Contains(err.Error(), "session 1") {
+			t.Fatalf("error does not name the failing session: %v", err)
+		}
+		if out == nil {
+			t.Fatal("no partial outcome alongside the error")
+		}
+		// The concurrent path always completes the healthy session; the
+		// sequential path completes it because id 0 encodes before id 1.
+		if out.GOPs[0] == nil {
+			t.Fatalf("sequential=%v: healthy session's completed GOP was discarded", sequential)
+		}
+		if out.GOPs[1] != nil {
+			t.Fatal("failed session has a GOP report")
+		}
+	}
+}
+
+// TestServeGOPCancellation checks context plumbing end to end: a cancelled
+// context aborts the round with the context's error.
+func TestServeGOPCancellation(t *testing.T) {
+	srv := fourUserServer(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.ServeGOPContext(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEstimateAheadPreparesNextGOP checks the overlap stage: after a round
+// completes, every unfinished session already has stages A–C done for its
+// next GOP, so the next round's estimation prices the new grid, not the
+// previous GOP's.
+func TestEstimateAheadPreparesNextGOP(t *testing.T) {
+	srv := fourUserServer(t, false)
+	if _, err := srv.ServeGOP(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sess := range srv.Sessions() {
+		if sess.Finished() {
+			continue
+		}
+		if sess.preparedFor != sess.NextFrame() {
+			t.Fatalf("session %d prepared for frame %d, next frame %d — estimation would see a stale grid",
+				sess.ID, sess.preparedFor, sess.NextFrame())
+		}
+	}
+}
+
+// TestEncodeGOPResumesToBoundary checks that a session resumed mid-GOP
+// (e.g. after a cancellation) encodes only up to the GOP boundary: one
+// report must never span two GOPs or two tile grids.
+func TestEncodeGOPResumesToBoundary(t *testing.T) {
+	s := newTestSession(t, ModeProposed) // 8 frames, GOP 4
+	for i := 0; i < 2; i++ {
+		if _, err := s.EncodeNextFrame(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gop, err := s.EncodeGOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gop.Frames) != 2 {
+		t.Fatalf("mid-GOP resume encoded %d frames, want 2 (to the boundary)", len(gop.Frames))
+	}
+	if gop.Index != 0 {
+		t.Fatalf("resumed GOP index %d, want 0", gop.Index)
+	}
+	if s.NextFrame() != 4 {
+		t.Fatalf("session at frame %d after resume, want the GOP boundary 4", s.NextFrame())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"time"
 
@@ -98,6 +101,11 @@ type FrameReport struct {
 	Kbps       float64
 	EncodeTime time.Duration
 	Tiles      []codec.TileStats
+	// Digest is an FNV-1a hash of the frame's encoded bitstream (all tile
+	// payloads in grid order). Encoded bytes are deterministic for a given
+	// session history, so equal digests across serving strategies prove
+	// the parallel serving loop is bit-identical to the sequential one.
+	Digest uint64
 }
 
 // GOPReport aggregates one group of pictures.
@@ -115,11 +123,16 @@ type GOPReport struct {
 	MeanKbps float64
 	// CPUTime is the total encode CPU time of the GOP.
 	CPUTime time.Duration
+	// Digest chains the frames' bitstream digests (see FrameReport.Digest).
+	Digest uint64
 }
 
 // Session is one user's online transcoding of one video through the Fig. 2
-// pipeline. Sessions are not safe for concurrent use; the Server serializes
-// per-session calls (tile-level parallelism happens inside the codec).
+// pipeline. A session is single-goroutine: the Server drives each session
+// from exactly one goroutine per round (sessions of one server run
+// concurrently with each other; tile-level parallelism happens inside the
+// codec). The only cross-session shared state is the workload LUT, which
+// is internally synchronized and order-insensitive (mean-based).
 type Session struct {
 	ID      int
 	cfg     SessionConfig
@@ -133,6 +146,13 @@ type Session struct {
 	grid     *tiling.Grid
 	contents []analysis.TileContent
 	qps      []int
+	// preparedFor is the frame index stages A–C last ran for (-1 before
+	// the first GOP). It keeps estimation and encoding in lockstep: the
+	// estimate-ahead stage prepares the upcoming GOP once, and the encode
+	// path reuses that preparation instead of redoing it — and, crucially,
+	// a round that estimates after a completed GOP re-runs A–C for the
+	// *new* GOP instead of pricing threads on the previous GOP's grid.
+	preparedFor int
 
 	// Baseline state.
 	baselineGrid *tiling.Grid
@@ -191,7 +211,7 @@ func NewSession(id int, src FrameSource, cfg SessionConfig, lut *workload.LUT) (
 	}
 	return &Session{
 		ID: id, cfg: cfg, src: src, enc: enc, lut: lut,
-		adapter: adapter, policy: policy,
+		adapter: adapter, policy: policy, preparedFor: -1,
 	}, nil
 }
 
@@ -256,6 +276,7 @@ func (s *Session) prepareGOP() error {
 		}
 	}
 	s.prevTileStats = nil
+	s.preparedFor = s.frame
 	return nil
 }
 
@@ -372,18 +393,31 @@ func (s *Session) tileParams() []codec.TileParams {
 // GOP boundaries, encodes, feeds measurements back into the QP adapter,
 // the motion policy and the workload LUT, and returns the frame report.
 func (s *Session) EncodeNextFrame() (*FrameReport, error) {
+	return s.EncodeNextFrameContext(context.Background(), 0)
+}
+
+// EncodeNextFrameContext is EncodeNextFrame with cancellation and a
+// per-call tile-worker budget (≤ 0 falls back to the session's configured
+// Workers). The serving loop passes each round's allocated core count
+// here, so intra-frame parallelism follows the allocation instead of a
+// global constant. On error — cancellation included — the session does not
+// advance, so the frame can be retried.
+func (s *Session) EncodeNextFrameContext(ctx context.Context, workers int) (*FrameReport, error) {
 	if s.Finished() {
 		return nil, fmt.Errorf("core: session %d already finished", s.ID)
 	}
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
 	frameInGOP := s.cfg.Codec.FrameInGOP(s.frame)
-	if s.grid == nil || frameInGOP == 0 {
+	if (s.grid == nil || frameInGOP == 0) && s.preparedFor != s.frame {
 		if err := s.prepareGOP(); err != nil {
 			return nil, err
 		}
 	}
 	params := s.tileParams()
 	f := s.src.Frame(s.frame)
-	stats, _, err := s.enc.EncodeFrameParallel(f, s.grid, params, s.cfg.Workers)
+	stats, bs, err := s.enc.EncodeFrameContext(ctx, f, s.grid, params, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -423,25 +457,52 @@ func (s *Session) EncodeNextFrame() (*FrameReport, error) {
 		Kbps:       stats.Kbps(s.src.FPS()),
 		EncodeTime: stats.EncodeTime,
 		Tiles:      stats.Tiles,
+		Digest:     bitstreamDigest(bs),
 	}
 	s.frame++
 	return rep, nil
 }
 
+// bitstreamDigest hashes a frame's tile payloads (FNV-1a, grid order).
+func bitstreamDigest(bs *codec.Bitstream) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(bs.Type))
+	h.Write(buf[:])
+	for _, tile := range bs.Tiles {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(tile)))
+		h.Write(buf[:])
+		h.Write(tile)
+	}
+	return h.Sum64()
+}
+
 // EncodeGOP encodes the next full GOP (or the remaining frames if fewer)
 // and aggregates the reports.
 func (s *Session) EncodeGOP() (*GOPReport, error) {
+	return s.EncodeGOPContext(context.Background(), 0)
+}
+
+// EncodeGOPContext is EncodeGOP with cancellation and a per-call
+// tile-worker budget (≤ 0 falls back to the session's configured Workers).
+// Cancellation is honoured at frame boundaries: frames already encoded
+// stay encoded and the session remains mid-GOP. A subsequent call resumes
+// from that position and encodes only up to the current GOP's boundary,
+// so one report never spans two GOPs (or two tile grids).
+func (s *Session) EncodeGOPContext(ctx context.Context, workers int) (*GOPReport, error) {
 	if s.Finished() {
 		return nil, fmt.Errorf("core: session %d already finished", s.ID)
 	}
 	gop := &GOPReport{Index: s.frame / s.cfg.Codec.GOPSize}
-	n := s.cfg.Codec.GOPSize
+	n := s.cfg.Codec.GOPSize - s.cfg.Codec.FrameInGOP(s.frame)
 	if rem := s.src.Len() - s.frame; rem < n {
 		n = rem
 	}
 	var psnrSum, kbpsSum float64
+	digest := fnv.New64a()
+	var buf [8]byte
 	for i := 0; i < n; i++ {
-		fr, err := s.EncodeNextFrame()
+		fr, err := s.EncodeNextFrameContext(ctx, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -449,11 +510,14 @@ func (s *Session) EncodeGOP() (*GOPReport, error) {
 		psnrSum += fr.PSNR
 		kbpsSum += fr.Kbps
 		gop.CPUTime += fr.EncodeTime
+		binary.LittleEndian.PutUint64(buf[:], fr.Digest)
+		digest.Write(buf[:])
 	}
 	gop.Grid = s.grid
 	gop.Contents = s.contents
 	gop.MeanPSNR = psnrSum / float64(n)
 	gop.MeanKbps = kbpsSum / float64(n)
+	gop.Digest = digest.Sum64()
 	return gop, nil
 }
 
@@ -480,10 +544,14 @@ func (s *Session) EstimateThreads() ([]sched.Thread, error) {
 	return threads, nil
 }
 
-// PrepareForEstimation runs stages A–C without encoding, so a fresh
-// session can report thread estimates for admission control.
+// PrepareForEstimation runs stages A–C for the upcoming frame without
+// encoding, so the session can report thread estimates for admission
+// control. It is a no-op when the current frame's GOP is already prepared
+// — a session rejected in one round keeps its preparation for the next —
+// and re-runs the analysis when the session has advanced past the frame it
+// last prepared (otherwise estimates would price the previous GOP's grid).
 func (s *Session) PrepareForEstimation() error {
-	if s.grid != nil {
+	if s.grid != nil && (s.preparedFor == s.frame || s.cfg.Codec.FrameInGOP(s.frame) != 0) {
 		return nil
 	}
 	return s.prepareGOP()

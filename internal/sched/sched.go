@@ -75,6 +75,33 @@ type Result struct {
 	Plans []mpsoc.CorePlan
 	// CoresUsed counts cores with non-zero load.
 	CoresUsed int
+	// UserCores maps each admitted user to the number of distinct cores
+	// its threads were assigned to. This is the per-session parallelism
+	// the allocation actually planned, and what the serving loop passes
+	// to the encoder as that session's tile-worker budget.
+	UserCores map[int]int
+}
+
+// CoresOf returns the number of distinct cores assigned to a user,
+// never less than 1 so it can be used directly as a worker budget.
+func (r *Result) CoresOf(user int) int {
+	if n := r.UserCores[user]; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// fillUserCores derives UserCores from the final thread assignments.
+func (r *Result) fillUserCores() {
+	r.UserCores = make(map[int]int, len(r.Admitted))
+	seen := make(map[[2]int]bool, len(r.Assignments))
+	for _, a := range r.Assignments {
+		k := [2]int{a.Thread.User, a.Core}
+		if !seen[k] {
+			seen[k] = true
+			r.UserCores[a.Thread.User]++
+		}
+	}
 }
 
 // Input bundles the allocation problem.
@@ -208,10 +235,11 @@ func AllocateContentAware(in Input) (*Result, error) {
 	return res, nil
 }
 
-// finalizeDVFS fills res.Plans and CoresUsed from per-core loads following
-// lines 16–24 of Algorithm 2: work executes at fmax, slack idles at fmin,
-// and cores with no work at all are power-gated for the slot.
+// finalizeDVFS fills res.Plans, CoresUsed and UserCores from per-core
+// loads following lines 16–24 of Algorithm 2: work executes at fmax, slack
+// idles at fmin, and cores with no work at all are power-gated for the slot.
 func finalizeDVFS(p *mpsoc.Platform, loads []time.Duration, slot time.Duration, res *Result) {
+	res.fillUserCores()
 	for k, load := range loads {
 		plan := mpsoc.CorePlan{
 			LoadAtFmax: load,
@@ -274,6 +302,7 @@ func AllocateBaseline(in Input) (*Result, error) {
 	}
 	sort.Ints(res.Admitted)
 	sort.Ints(res.Rejected)
+	res.fillUserCores()
 
 	for k := range res.Plans {
 		res.Plans[k].BusyLevel = in.Platform.MaxLevel()
