@@ -3,9 +3,15 @@
 // the content-aware re-tiler, per-tile texture/motion classes and QPs, and
 // the frame-level rate/quality/time outcomes.
 //
-// Example:
+// With -users N (N > 1) it instead drives the online serving loop: N
+// sessions of mixed classes stream through core.Server.Run with the
+// overload-aware admission ladder and measurement-calibrated workload
+// estimation enabled, and the service report is printed at the end.
+//
+// Examples:
 //
 //	transcode -class brain -motion rotate -frames 48 -mode proposed
+//	transcode -users 8 -frames 32
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/medgen"
+	"repro/internal/mpsoc"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -34,8 +41,24 @@ func main() {
 		workers    = flag.Int("workers", 4, "tile-encoding workers")
 		verbose    = flag.Bool("v", false, "print per-frame rows")
 		yuvPath    = flag.String("yuv", "", "transcode a raw planar I420 file instead of a synthetic study (uses -width/-height/-class)")
+		users      = flag.Int("users", 1, "serve N concurrent synthetic sessions through the online serving loop")
 	)
 	flag.Parse()
+
+	// An interrupt cancels cleanly at the next tile boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *users > 1 {
+		if err := serveUsers(ctx, *users, *width, *height, *frames, *seed, *modeFlag); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "transcode: interrupted")
+				os.Exit(130)
+			}
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	cfg := medgen.Default()
 	cfg.Width, cfg.Height = *width, *height
@@ -87,10 +110,6 @@ func main() {
 	fmt.Printf("transcoding %s/%s %dx%d @ %g fps, %d frames, mode %s\n\n",
 		cfg.Class, cfg.Motion, cfg.Width, cfg.Height, cfg.FPS, cfg.Frames, scfg.Mode)
 
-	// An interrupt cancels cleanly at the next tile boundary.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
 	gopIdx := 0
 	for !sess.Finished() {
 		gop, err := sess.EncodeGOPContext(ctx, *workers)
@@ -120,6 +139,79 @@ func main() {
 		fmt.Println()
 		gopIdx++
 	}
+}
+
+// serveUsers drives the online serving loop: n synthetic sessions of
+// rotating classes/motions are submitted up front, served by Server.Run
+// with the admission ladder and estimate calibration on, and the service
+// report is printed per round and in total.
+func serveUsers(ctx context.Context, n, width, height, frames int, seed int64, modeFlag string) error {
+	mode := core.ModeProposed
+	switch modeFlag {
+	case "proposed":
+	case "baseline":
+		mode = core.ModeBaseline
+	default:
+		return fmt.Errorf("unknown mode %q", modeFlag)
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		Platform:    mpsoc.XeonE5_2667V4(),
+		FPS:         24,
+		Calibration: core.CalibrationConfig{Enabled: true},
+		Admission:   core.AdmissionConfig{Enabled: true},
+		OnRound: func(out *core.GOPOutcome) {
+			fmt.Printf("round %2d: admitted %v", out.Round, out.AdmittedUsers)
+			if len(out.RejectedUsers) > 0 {
+				fmt.Printf(", waiting %v", out.RejectedUsers)
+			}
+			if len(out.TimedOut) > 0 {
+				fmt.Printf(", timed out %v", out.TimedOut)
+			}
+			if out.EstimateTiles > 0 {
+				fmt.Printf(", estimate error %.1f%%", 100*out.EstimateErr)
+			}
+			fmt.Printf(", %.1f W\n", out.Energy.AvgPowerW)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
+	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
+	for i := 0; i < n; i++ {
+		vc := medgen.Default()
+		vc.Width, vc.Height = width, height
+		vc.Frames = frames
+		vc.Class = classes[i%len(classes)]
+		vc.Motion = motions[i%len(motions)]
+		vc.Seed = seed + int64(i)
+		gen, err := medgen.NewGenerator(vc)
+		if err != nil {
+			return err
+		}
+		src, err := core.SourceFromGenerator(gen, vc.Frames, vc.FPS, vc.Class.String())
+		if err != nil {
+			return err
+		}
+		scfg := core.DefaultSessionConfig()
+		scfg.Mode = mode
+		if _, err := srv.Submit(src, scfg); err != nil {
+			return err
+		}
+	}
+	srv.Close()
+
+	fmt.Printf("serving %d users (%dx%d, %d frames each) on %d cores\n\n",
+		n, width, height, frames, mpsoc.XeonE5_2667V4().Cores)
+	rep, runErr := srv.Run(ctx)
+	fmt.Printf("\nservice report: %d rounds, %d/%d sessions completed (%d rejected, %d failed)\n",
+		rep.Rounds, len(rep.Completed), rep.Submitted, len(rep.Rejected), len(rep.Failed))
+	fmt.Printf("  %d frames in %d GOP reports, %.1f J total (avg %.1f W, peak %.1f W), %d deadline misses\n",
+		rep.FramesEncoded, rep.GOPReports, rep.Energy.EnergyJ, rep.Energy.AvgPowerW(), rep.Energy.PeakPowerW, rep.Energy.DeadlineMisses)
+	if e, tiles := rep.MeanEstimateErr(0); tiles > 0 {
+		fmt.Printf("  mean stage-D1 estimate error %.1f%% over %d tiles\n", 100*e, tiles)
+	}
+	return runErr
 }
 
 func classByName(name string) (medgen.Class, bool) {

@@ -1,11 +1,15 @@
 // Telemedicine: the paper's motivating scenario — a hospital server
 // transcoding many diagnostic videos online for doctors on mobile devices.
-// A saturated queue of users competes for the 32-core platform; Algorithm 2
-// admits as many as fit, allocates their tile threads to cores and sets
-// frequencies; the same queue under the baseline [19] admits fewer.
+// Unlike a batch job, the service is long-lived: consultations start and
+// end at arbitrary times. Users are submitted to the serving loop at
+// staggered arrivals, Server.Run admits as many as fit each GOP round
+// (Algorithm 2), degrades newcomers through the admission ladder when the
+// platform saturates, and calibrates its workload estimates against the
+// encode times it actually measures.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,76 +17,107 @@ import (
 	"repro/internal/core"
 	"repro/internal/medgen"
 	"repro/internal/mpsoc"
-	"repro/internal/sched"
 )
 
 func main() {
-	const queueLen = 12
+	const (
+		arrivals   = 12 // sessions over the whole service
+		upfront    = 4  // already waiting when the service starts
+		gopsPerArr = 1  // one new arrival per served round until drained
+	)
 
-	// Two servers over the same platform: the proposed Algorithm 2 and
-	// the baseline one-tile-per-core policy of [19].
-	for _, setup := range []struct {
-		name  string
-		mode  core.Mode
-		alloc core.AllocatorFunc
-	}{
-		{"proposed (Algorithm 2)", core.ModeProposed, sched.AllocateContentAware},
-		{"baseline [19]", core.ModeBaseline, sched.AllocateBaseline},
-	} {
-		srv, err := core.NewServer(core.ServerConfig{
-			Platform:  mpsoc.XeonE5_2667V4(),
-			FPS:       24,
-			Allocator: setup.alloc,
-			Workers:   2,
-		})
+	// A deliberately small platform so arrivals overlap and the admission
+	// ladder has work to do.
+	platform := mpsoc.XeonE5_2667V4()
+	platform.Cores = 4
+
+	classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
+	submitted := 0
+	var srv *core.Server
+	submit := func() error {
+		vc := medgen.Default()
+		vc.Width, vc.Height = 320, 240 // keep the example quick
+		vc.Frames = 16
+		vc.Class = classes[submitted%len(classes)]
+		vc.Seed = int64(submitted + 1)
+		gen, err := medgen.NewGenerator(vc)
 		if err != nil {
+			return err
+		}
+		src, err := core.SourceFromGenerator(gen, vc.Frames, vc.FPS, vc.Class.String())
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultSessionConfig()
+		cfg.Retile.MinTileW, cfg.Retile.MinTileH = 48, 48
+		sess, err := srv.Submit(src, cfg)
+		if err != nil {
+			return err
+		}
+		submitted++
+		fmt.Printf("   → user %d (%s) joined\n", sess.ID, vc.Class)
+		return nil
+	}
+
+	var err error
+	srv, err = core.NewServer(core.ServerConfig{
+		Platform:    platform,
+		FPS:         24,
+		Calibration: core.CalibrationConfig{Enabled: true},
+		Admission:   core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16},
+		OnRound: func(out *core.GOPOutcome) {
+			fmt.Printf("round %2d: served %d users on %d cores, %.1f W",
+				out.Round, len(out.AdmittedUsers), out.Allocation.CoresUsed, out.Energy.AvgPowerW)
+			if len(out.RejectedUsers) > 0 {
+				fmt.Printf(", waiting %v", out.RejectedUsers)
+			}
+			if out.EstimateTiles > 0 {
+				fmt.Printf(", estimate error %.1f%%", 100*out.EstimateErr)
+			}
+			fmt.Println()
+			// Session churn: one more consultation begins per round until
+			// the day's queue is drained, then the clinic closes.
+			for i := 0; i < gopsPerArr && submitted < arrivals; i++ {
+				if err := submit(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if submitted == arrivals {
+				srv.Close()
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < upfront; i++ {
+		if err := submit(); err != nil {
 			log.Fatal(err)
 		}
-		// Users request a mix of studies: brains, chests, bones...
-		classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
-		for i := 0; i < queueLen; i++ {
-			vc := medgen.Default()
-			vc.Width, vc.Height = 320, 240 // keep the example quick
-			vc.Frames = 16
-			vc.Class = classes[i%len(classes)]
-			vc.Seed = int64(i + 1)
-			gen, err := medgen.NewGenerator(vc)
-			if err != nil {
-				log.Fatal(err)
-			}
-			src, err := core.SourceFromGenerator(gen, vc.Frames, vc.FPS, vc.Class.String())
-			if err != nil {
-				log.Fatal(err)
-			}
-			cfg := core.DefaultSessionConfig()
-			cfg.Mode = setup.mode
-			cfg.Retile.MinTileW, cfg.Retile.MinTileH = 48, 48
-			cfg.BaselineTiles = 4
-			if _, err := srv.AddSession(src, cfg); err != nil {
-				log.Fatal(err)
-			}
-		}
+	}
+	if upfront == arrivals {
+		srv.Close()
+	}
 
-		// The admitted sessions encode concurrently: each gets the tile
-		// parallelism its thread allocation planned (see out.Allocation).
-		start := time.Now()
-		out, err := srv.ServeGOP()
-		if err != nil {
-			log.Fatal(err)
+	start := time.Now()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("\nservice closed after %d rounds (%v wall): %d/%d completed, %d rejected, %d failed\n",
+		rep.Rounds, wall.Round(time.Millisecond), len(rep.Completed), rep.Submitted, len(rep.Rejected), len(rep.Failed))
+	fmt.Printf("%d frames served, %.1f J simulated (avg %.1f W, peak %.1f W), %d deadline misses\n",
+		rep.FramesEncoded, rep.Energy.EnergyJ, rep.Energy.AvgPowerW(), rep.Energy.PeakPowerW, rep.Energy.DeadlineMisses)
+	if e, tiles := rep.MeanEstimateErr(0); tiles > 0 {
+		fmt.Printf("mean stage-D1 estimate error %.1f%% over %d tiles\n", 100*e, tiles)
+	}
+	for _, sess := range srv.Sessions() {
+		if sess.Degraded() || sess.QPOffset() > 0 {
+			fmt.Printf("user %d was degraded by the admission ladder (uniform tiling: %v, QP offset: +%d)\n",
+				sess.ID, sess.Degraded(), sess.QPOffset())
 		}
-		wall := time.Since(start)
-		fmt.Printf("== %s ==\n", setup.name)
-		fmt.Printf("admitted %d/%d users, %d cores in use, %.1f W average, round wall time %v\n",
-			len(out.AdmittedUsers), queueLen, out.Allocation.CoresUsed, out.Energy.AvgPowerW, wall.Round(time.Millisecond))
-		for _, id := range out.AdmittedUsers {
-			gop := out.GOPs[id]
-			fmt.Printf("   user %2d (%s): %2d tiles on %d cores, %.1f dB, %.0f kbps\n",
-				id, srv.Sessions()[id].Config().Mode, gop.Grid.NumTiles(),
-				out.Allocation.CoresOf(id), gop.MeanPSNR, gop.MeanKbps)
-		}
-		if len(out.RejectedUsers) > 0 {
-			fmt.Printf("   waiting: users %v\n", out.RejectedUsers)
-		}
-		fmt.Println()
 	}
 }

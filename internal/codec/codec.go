@@ -133,6 +133,11 @@ type TileParams struct {
 type TileStats struct {
 	Tile tiling.Tile
 	QP   int
+	// Window is the motion-search window the tile was encoded with. QP and
+	// Window let the serving loop rebuild the tile's workload-LUT key from
+	// the report alone (for measurement calibration), without re-deriving
+	// the per-tile configuration.
+	Window int
 	// Bits is the exact size of the tile's bitstream payload in bits.
 	Bits int
 	// SSE is the summed squared error of the reconstruction vs the source

@@ -229,6 +229,7 @@ func (e *Encoder) encodeTile(src, recon *video.Frame, tile tiling.Tile, p TilePa
 	ts := tc.stats
 	ts.Tile = tile
 	ts.QP = p.QP
+	ts.Window = p.Window
 	ts.Bits = w.Len()
 	ts.PSNR = psnrFromSSE(ts.SSE, tile.Area())
 	ts.EncodeTime = time.Since(start)

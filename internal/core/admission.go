@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// AdmissionConfig parametrizes the overload-aware admission ladder. When
+// the stage-D2 allocator cannot admit every live session, the server
+// degrades the refused sessions' service level step by step instead of
+// letting them starve silently:
+//
+//	rung 1 — newcomers fall back to the uniform tiling (Session.Degrade);
+//	rung 2+ — the session's QP is offset upward in QPOffsetStep increments
+//	          up to MaxQPOffset, shrinking its estimated workload;
+//	then    — the session queues, re-competing every round, for at most
+//	          MaxQueueRounds rounds before it is rejected for good.
+//
+// Each escalation re-runs stage D1 on the degraded configuration and the
+// allocator gets another look, all within the same round — a newcomer that
+// fits at a lower service level is admitted in the round it arrived.
+type AdmissionConfig struct {
+	// Enabled turns the ladder on. Disabled (the zero value), refused
+	// sessions keep their full-quality configuration and wait
+	// indefinitely — the historical saturated-queue behavior.
+	Enabled bool
+	// QPOffsetStep is the QP increment per escalation (0 → 4).
+	QPOffsetStep int
+	// MaxQPOffset bounds the total QP degradation (0 → 8).
+	MaxQPOffset int
+	// MaxQueueRounds is how many consecutive rounds a fully-degraded
+	// session may wait for admission before being rejected (0 → 8).
+	MaxQueueRounds int
+}
+
+// withDefaults fills the zero values.
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.QPOffsetStep <= 0 {
+		c.QPOffsetStep = 4
+	}
+	if c.MaxQPOffset <= 0 {
+		c.MaxQPOffset = 8
+	}
+	if c.MaxQueueRounds <= 0 {
+		c.MaxQueueRounds = 8
+	}
+	return c
+}
+
+// Admission-ladder rungs recorded per session. rung 0 is full service;
+// rungDegradedTiling and up mark applied degradations.
+const (
+	rungNone = iota
+	rungDegradedTiling
+	rungQPOffset // rungQPOffset+k means a QP offset of (k+1)·QPOffsetStep
+)
+
+// allocate runs stage D2 over the live sessions, escalating the admission
+// ladder until the allocation stops improving. It returns the final
+// allocation and the ids whose queue deadline expired this round (their
+// records are already StateRejected).
+func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
+	byID := make(map[int]*roundSession, len(live))
+	input := func() sched.Input {
+		in := sched.Input{Platform: s.cfg.Platform, FPS: s.cfg.FPS}
+		for _, rs := range live {
+			in.Users = append(in.Users, s.demandOf(rs))
+		}
+		return in
+	}
+	for _, rs := range live {
+		byID[rs.rec.sess.ID] = rs
+	}
+
+	alloc, err := s.cfg.Allocator(input())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if s.cfg.Admission.Enabled {
+		// One allocator pass per ladder escalation: degrade first, then
+		// QP offsets until MaxQPOffset. Bounded by the rung count, so a
+		// session that cannot fit at any service level stops escalating.
+		maxPasses := 2 + s.cfg.Admission.MaxQPOffset/s.cfg.Admission.QPOffsetStep
+		for pass := 0; pass < maxPasses && len(alloc.Rejected) > 0; pass++ {
+			escalated := false
+			for _, id := range alloc.Rejected {
+				rs := byID[id]
+				ok, err := s.escalate(rs)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					// The degraded configuration changes the session's
+					// grid and/or keys: re-run stage D1 on it.
+					if err := s.estimate(rs); err != nil {
+						return nil, nil, err
+					}
+					escalated = true
+				}
+			}
+			if !escalated {
+				break
+			}
+			if alloc, err = s.cfg.Allocator(input()); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Queue bookkeeping: admitted sessions reset their wait; refused
+	// sessions at the end of the ladder accumulate it and time out.
+	var timedOut []int
+	s.mu.Lock()
+	for _, id := range alloc.Admitted {
+		byID[id].rec.waited = 0
+	}
+	for _, id := range alloc.Rejected {
+		rec := byID[id].rec
+		rec.waited++
+		if s.cfg.Admission.Enabled && rec.waited > s.cfg.Admission.MaxQueueRounds {
+			rec.state = StateRejected
+			timedOut = append(timedOut, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Ints(timedOut)
+	return alloc, timedOut, nil
+}
+
+// escalate applies the next admission-ladder rung to a refused session.
+// It reports whether a degradation was applied (false once the ladder is
+// exhausted and the session can only queue).
+func (s *Server) escalate(rs *roundSession) (bool, error) {
+	cfg := s.cfg.Admission
+	sess := rs.rec.sess
+	for {
+		switch {
+		case rs.rec.rung == rungNone:
+			rs.rec.rung = rungDegradedTiling
+			// Tiling degradation applies to newcomers on the proposed
+			// pipeline; sessions already streaming (or already uniform)
+			// skip to the QP rung.
+			if sess.NextFrame() == 0 && sess.Config().Mode == ModeProposed && !sess.Config().DisableRetile {
+				if err := sess.Degrade(); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+		case sess.QPOffset() < cfg.MaxQPOffset:
+			rs.rec.rung++
+			off := sess.QPOffset() + cfg.QPOffsetStep
+			if off > cfg.MaxQPOffset {
+				off = cfg.MaxQPOffset
+			}
+			sess.SetQPOffset(off)
+			return true, nil
+		default:
+			return false, nil
+		}
+	}
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/mpsoc"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -15,6 +17,20 @@ import (
 // AllocateContentAware (Algorithm 2), AllocateBaseline ([19]) and the
 // ablation allocators.
 type AllocatorFunc func(sched.Input) (*sched.Result, error)
+
+// CalibrationConfig parametrizes the online workload-estimation
+// calibration loop: after every round the server feeds each admitted
+// tile's measured encode time back into the session's workload LUT as an
+// exponentially-weighted correction (workload.LUT.Calibrate), so stage-D1
+// estimates track the host's current speed instead of dragging all of
+// history behind them.
+type CalibrationConfig struct {
+	// Enabled turns the feedback loop on.
+	Enabled bool
+	// Alpha is the EWMA weight of the newest measurement, clamped to
+	// (0, 1]. 0 selects the default 0.5.
+	Alpha float64
+}
 
 // ServerConfig parametrizes the multi-user serving loop.
 type ServerConfig struct {
@@ -42,6 +58,66 @@ type ServerConfig struct {
 	// output is bit-identical between the two modes (sessions share no
 	// order-sensitive state); tests and benchmarks compare against it.
 	Sequential bool
+	// Calibration enables the measurement-calibrated estimation loop.
+	Calibration CalibrationConfig
+	// Admission enables the overload ladder (see AdmissionConfig). Zero
+	// value = disabled: users the allocator cannot fit simply wait.
+	Admission AdmissionConfig
+	// OnRound, when set, is invoked synchronously from the serving
+	// goroutine after every round Run serves. The callback may Submit new
+	// sessions or Close the server (the loop picks both up on the next
+	// round) but must not call serving methods itself.
+	OnRound func(*GOPOutcome)
+}
+
+// SessionState is a session's position in the service lifecycle.
+type SessionState int
+
+const (
+	// StateQueued covers a submitted session from arrival until a
+	// terminal state: it is either waiting for admission or actively
+	// being served.
+	StateQueued SessionState = iota
+	// StateCompleted means every frame of the session's video was served.
+	StateCompleted
+	// StateRejected means the admission ladder gave up on the session
+	// (its queue deadline expired while the platform was saturated).
+	StateRejected
+	// StateFailed means the session's encode failed; the service dropped
+	// it and kept serving the others.
+	StateFailed
+)
+
+// String names the state.
+func (s SessionState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateCompleted:
+		return "completed"
+	case StateRejected:
+		return "rejected"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// sessionRecord is the server-side wrapper around a session: lifecycle
+// state and admission-ladder bookkeeping. Session internals are touched
+// only by the serving goroutine; record fields are guarded by Server.mu.
+type sessionRecord struct {
+	sess *Session
+	lut  *workload.LUT
+
+	state SessionState
+	// err is the terminal error of a StateFailed session.
+	err error
+	// rung is the highest admission-ladder rung applied (see admission.go).
+	rung int
+	// waited counts consecutive rounds the session was refused admission
+	// after the ladder ran out of degradation rungs.
+	waited int
 }
 
 // Server serves many transcoding sessions on one platform: each GOP it
@@ -50,10 +126,25 @@ type ServerConfig struct {
 // encodes the admitted sessions' frames — concurrently, one goroutine per
 // admitted session, each budgeted with the tile parallelism its allocation
 // planned (DESIGN.md §6).
+//
+// Concurrency contract: Submit, AddSession, Close, Sessions, Store and
+// StateOf are safe to call from any goroutine, at any time — including
+// while Run is serving. The serving methods themselves (Run, ServeGOP,
+// ServeGOPContext, ServeAll, ServeAllContext) must be driven by a single
+// goroutine at a time; Run enforces this by failing when a Run is already
+// active.
 type Server struct {
-	cfg      ServerConfig
-	store    *workload.Store
-	sessions []*Session
+	cfg   ServerConfig
+	store *workload.Store
+
+	mu      sync.Mutex
+	records []*sessionRecord
+	closed  bool
+	running bool
+	rounds  int
+	// arrival wakes an idle Run loop when Submit or Close changes what
+	// there is to do.
+	arrival chan struct{}
 }
 
 // NewServer validates and builds a server.
@@ -73,29 +164,96 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	return &Server{cfg: cfg, store: workload.NewStore()}, nil
+	if cfg.Calibration.Alpha == 0 {
+		cfg.Calibration.Alpha = 0.5
+	}
+	if !(cfg.Calibration.Alpha > 0) || cfg.Calibration.Alpha > 1 { // NaN-safe
+		return nil, fmt.Errorf("core: calibration alpha %v outside (0, 1]", cfg.Calibration.Alpha)
+	}
+	cfg.Admission = cfg.Admission.withDefaults()
+	return &Server{cfg: cfg, store: workload.NewStore(), arrival: make(chan struct{}, 1)}, nil
 }
 
 // Store exposes the per-class workload LUT store (shared across sessions).
 func (s *Server) Store() *workload.Store { return s.store }
 
 // AddSession creates a session for src and registers it. The session
-// shares the workload LUT of its body-part class.
+// shares the workload LUT of its body-part class. It is Submit under the
+// historical name.
 func (s *Server) AddSession(src FrameSource, cfg SessionConfig) (*Session, error) {
+	return s.Submit(src, cfg)
+}
+
+// Submit enqueues a new session for service: the next round (of Run or
+// ServeGOP) includes it in admission. Safe to call from any goroutine,
+// before or while the server is running; fails after Close.
+func (s *Server) Submit(src FrameSource, cfg SessionConfig) (*Session, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil frame source")
+	}
 	cfg.Workers = s.cfg.Workers
-	sess, err := NewSession(len(s.sessions), src, cfg, s.store.ForClass(src.Class()))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: server closed to new sessions")
+	}
+	lut := s.store.ForClass(src.Class())
+	sess, err := NewSession(len(s.records), src, cfg, lut)
 	if err != nil {
 		return nil, err
 	}
-	s.sessions = append(s.sessions, sess)
+	s.records = append(s.records, &sessionRecord{sess: sess, lut: lut})
+	s.wake()
 	return sess, nil
 }
 
-// Sessions returns the registered sessions.
-func (s *Server) Sessions() []*Session { return s.sessions }
+// Close marks the arrival queue closed: no further Submit succeeds, and
+// Run returns once every already-submitted session reaches a terminal
+// state. Safe to call from any goroutine, more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wake()
+}
+
+// wake nudges an idle Run loop (non-blocking).
+func (s *Server) wake() {
+	select {
+	case s.arrival <- struct{}{}:
+	default:
+	}
+}
+
+// Sessions returns a snapshot of the registered sessions, in submission
+// order. The returned slice is a copy — mutating it cannot corrupt server
+// state — but the *Session values are live: while the server is serving,
+// only ID, Config and the read-only accessors are safe to use from other
+// goroutines.
+func (s *Server) Sessions() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, len(s.records))
+	for i, rec := range s.records {
+		out[i] = rec.sess
+	}
+	return out
+}
+
+// StateOf reports the lifecycle state of session id.
+func (s *Server) StateOf(id int) (SessionState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.records) {
+		return 0, false
+	}
+	return s.records[id].state, true
+}
 
 // GOPOutcome describes one served GOP round.
 type GOPOutcome struct {
+	// Round is the server-wide round index (0-based).
+	Round int
 	// Allocation is the stage-D2 result over all unfinished sessions.
 	Allocation *sched.Result
 	// Energy is the slot-level platform simulation of the allocation,
@@ -106,8 +264,27 @@ type GOPOutcome struct {
 	// GOPs covers the sessions whose encode completed before the failure
 	// — callers can still account their energy and quality.
 	GOPs map[int]*GOPReport
-	// AdmittedUsers and RejectedUsers mirror the allocation.
+	// AdmittedUsers and RejectedUsers mirror the allocation (after the
+	// admission ladder, when enabled).
 	AdmittedUsers, RejectedUsers []int
+	// TimedOut lists sessions whose queue deadline expired this round —
+	// the admission ladder rejected them for good.
+	TimedOut []int
+	// EstimateErr is the round's mean relative stage-D1 estimation error:
+	// |estimate − measured| / measured averaged over the EstimateTiles
+	// admitted tiles with a positive measurement, where the estimate is
+	// the pre-round LUT prediction and the measurement the GOP's mean
+	// tile encode time (through the session's TimeModel, when set).
+	EstimateErr float64
+	// EstimateTiles is the number of tiles EstimateErr covers.
+	EstimateTiles int
+}
+
+// roundSession carries one live session through a round.
+type roundSession struct {
+	rec *sessionRecord
+	// estimates are the pre-round per-tile LUT predictions (unscaled).
+	estimates []time.Duration
 }
 
 // ServeGOP runs one full round: estimate → allocate → simulate → encode.
@@ -127,72 +304,235 @@ func (s *Server) ServeGOP() (*GOPOutcome, error) {
 // GOPs. After a cancellation, sessions may be stopped mid-GOP and the
 // server must not be reused.
 func (s *Server) ServeGOPContext(ctx context.Context) (*GOPOutcome, error) {
+	out, sessErrs, err := s.serveRound(ctx)
+	if err != nil {
+		return out, err
+	}
+	// Historical contract: surface the first failing session's error (in
+	// session order) alongside the partial outcome.
+	ids := make([]int, 0, len(sessErrs))
+	for id := range sessErrs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	if len(ids) > 0 {
+		return out, sessErrs[ids[0]]
+	}
+	return out, nil
+}
+
+// serveRound is the shared round implementation. It returns the round's
+// outcome, the per-session encode errors (the failed sessions are already
+// marked StateFailed), and a round-level error (invalid state,
+// cancellation, allocator or platform failure) on which no outcome
+// bookkeeping beyond the partial outcome should be trusted.
+func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	var demands []sched.UserDemand
-	active := make(map[int]*Session)
-	for _, sess := range s.sessions {
-		if sess.Finished() {
-			continue
-		}
-		if err := sess.PrepareForEstimation(); err != nil {
-			return nil, fmt.Errorf("core: session %d: %w", sess.ID, err)
-		}
-		threads, err := sess.EstimateThreads()
-		if err != nil {
-			return nil, err
-		}
-		if s.cfg.TimeScale > 0 && s.cfg.TimeScale != 1 {
-			for i := range threads {
-				threads[i].TimeFmax = time.Duration(float64(threads[i].TimeFmax) * s.cfg.TimeScale)
-			}
-		}
-		demands = append(demands, sched.UserDemand{User: sess.ID, Threads: threads})
-		active[sess.ID] = sess
-	}
-	if len(demands) == 0 {
-		return nil, fmt.Errorf("core: no active sessions")
+		return nil, nil, err
 	}
 
-	alloc, err := s.cfg.Allocator(sched.Input{
-		Platform: s.cfg.Platform,
-		FPS:      s.cfg.FPS,
-		Users:    demands,
-	})
+	// Snapshot the live session set. Sessions finished outside the server
+	// are retired on sight so they never block Run's completion.
+	s.mu.Lock()
+	var live []*roundSession
+	for _, rec := range s.records {
+		if rec.state != StateQueued {
+			continue
+		}
+		if rec.sess.Finished() {
+			rec.state = StateCompleted
+			continue
+		}
+		live = append(live, &roundSession{rec: rec})
+	}
+	round := s.rounds
+	s.mu.Unlock()
+	if len(live) == 0 {
+		return nil, nil, fmt.Errorf("core: no active sessions")
+	}
+
+	// Stage D1: prepare and estimate each live session.
+	for _, rs := range live {
+		if err := s.estimate(rs); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Stage D2 with the admission ladder (admission.go).
+	alloc, timedOut, err := s.allocate(live)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	slot := time.Duration(float64(time.Second) / s.cfg.FPS)
 	energy, err := s.cfg.Platform.SimulateSlot(alloc.Plans, slot)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	out := &GOPOutcome{
+		Round:         round,
 		Allocation:    alloc,
 		Energy:        energy,
 		GOPs:          make(map[int]*GOPReport, len(alloc.Admitted)),
 		AdmittedUsers: alloc.Admitted,
 		RejectedUsers: alloc.Rejected,
+		TimedOut:      timedOut,
 	}
+	byID := make(map[int]*roundSession, len(live))
+	for _, rs := range live {
+		byID[rs.rec.sess.ID] = rs
+	}
+	var sessErrs map[int]error
 	if s.cfg.Sequential {
-		err = s.encodeSequential(ctx, alloc, active, out)
+		sessErrs = s.encodeSequential(ctx, alloc, byID, out)
 	} else {
-		err = s.encodeConcurrent(ctx, alloc, active, out)
+		sessErrs = s.encodeConcurrent(ctx, alloc, byID, out)
 	}
-	return out, err
+
+	// A cancelled round aborts service; sessions may be mid-GOP and are
+	// not marked failed (the historical "server must not be reused after
+	// cancellation" contract).
+	if ctx.Err() != nil {
+		return out, nil, ctx.Err()
+	}
+
+	s.settleRound(byID, out, sessErrs)
+	s.mu.Lock()
+	s.rounds++
+	s.mu.Unlock()
+	return out, sessErrs, nil
+}
+
+// estimate runs stages A–C (when needed) and D1 for one live session,
+// filling rs.estimates.
+func (s *Server) estimate(rs *roundSession) error {
+	sess := rs.rec.sess
+	if err := sess.PrepareForEstimation(); err != nil {
+		return fmt.Errorf("core: session %d: %w", sess.ID, err)
+	}
+	threads, err := sess.EstimateThreads()
+	if err != nil {
+		return err
+	}
+	rs.estimates = make([]time.Duration, len(threads))
+	for i := range threads {
+		rs.estimates[i] = threads[i].TimeFmax
+	}
+	return nil
+}
+
+// demandOf converts a session's estimates into the allocator's input,
+// applying the platform time scale.
+func (s *Server) demandOf(rs *roundSession) sched.UserDemand {
+	sess := rs.rec.sess
+	threads := make([]sched.Thread, len(rs.estimates))
+	for i, est := range rs.estimates {
+		if s.cfg.TimeScale > 0 && s.cfg.TimeScale != 1 {
+			est = time.Duration(float64(est) * s.cfg.TimeScale)
+		}
+		threads[i] = sched.Thread{User: sess.ID, Tile: i, TimeFmax: est}
+	}
+	return sched.UserDemand{User: sess.ID, Threads: threads}
+}
+
+// settleRound finalizes a round after the encodes: lifecycle transitions,
+// estimation-error accounting and LUT calibration.
+func (s *Server) settleRound(byID map[int]*roundSession, out *GOPOutcome, sessErrs map[int]error) {
+	for id, err := range sessErrs {
+		rs := byID[id]
+		s.mu.Lock()
+		rs.rec.state = StateFailed
+		rs.rec.err = err
+		s.mu.Unlock()
+	}
+
+	// The built-in allocators return Admitted sorted by id, but a custom
+	// AllocatorFunc may not: sort a copy so the order-sensitive
+	// calibration EWMA really is applied in ascending session order (the
+	// documented reproducibility invariant).
+	admitted := append([]int(nil), out.AdmittedUsers...)
+	sort.Ints(admitted)
+
+	var errSum float64
+	var errTiles int
+	for _, id := range admitted {
+		rs := byID[id]
+		gop := out.GOPs[id]
+		if gop == nil {
+			continue
+		}
+		// Estimation error: pre-round prediction vs the GOP's mean
+		// measured tile time.
+		n := len(gop.Grid.Tiles)
+		meas := make([]time.Duration, n)
+		counts := make([]int, n)
+		for _, fr := range gop.Frames {
+			for i, ts := range fr.Tiles {
+				meas[i] += rs.rec.sess.measuredTime(ts)
+				counts[i]++
+			}
+		}
+		for i := 0; i < n && i < len(rs.estimates); i++ {
+			if counts[i] == 0 {
+				continue
+			}
+			m := meas[i] / time.Duration(counts[i])
+			if m <= 0 {
+				continue
+			}
+			d := float64(rs.estimates[i]-m) / float64(m)
+			if d < 0 {
+				d = -d
+			}
+			errSum += d
+			errTiles++
+		}
+		// Calibration: feed every measured tile back into the LUT as an
+		// EWMA correction. Applied here — once per round, from the
+		// serving goroutine, in ascending session order — so the update
+		// order (and with it every estimate) is reproducible even though
+		// the encodes ran concurrently.
+		if s.cfg.Calibration.Enabled {
+			for _, fr := range gop.Frames {
+				for i, ts := range fr.Tiles {
+					tc := gop.Contents[i]
+					key := workload.MakeKey(ts.Tile.Area(), int(tc.Texture), int(tc.Motion), ts.QP, ts.Window)
+					rs.rec.lut.Calibrate(key, rs.rec.sess.measuredTime(ts), s.cfg.Calibration.Alpha)
+				}
+			}
+		}
+		if rs.rec.sess.Finished() && sessErrs[id] == nil {
+			s.mu.Lock()
+			rs.rec.state = StateCompleted
+			s.mu.Unlock()
+		}
+	}
+	if errTiles > 0 {
+		out.EstimateErr = errSum / float64(errTiles)
+		out.EstimateTiles = errTiles
+	}
+}
+
+// measuredTime maps a tile's stats to the measured CPU time through the
+// session's TimeModel (the same channel Observe records).
+func (s *Session) measuredTime(ts codec.TileStats) time.Duration {
+	if s.cfg.TimeModel != nil {
+		return s.cfg.TimeModel(ts)
+	}
+	return ts.EncodeTime
 }
 
 // encodeSequential is the reference serving path: admitted sessions encode
 // one after another with the server's fixed worker budget. A failure stops
-// the round, but the sessions already encoded keep their reports in out.
-func (s *Server) encodeSequential(ctx context.Context, alloc *sched.Result, active map[int]*Session, out *GOPOutcome) error {
+// the round (later sessions are not started and stay queued), but the
+// sessions already encoded keep their reports in out. The returned map
+// holds the failing session's error.
+func (s *Server) encodeSequential(ctx context.Context, alloc *sched.Result, byID map[int]*roundSession, out *GOPOutcome) map[int]error {
 	for _, id := range alloc.Admitted {
-		gop, err := active[id].EncodeGOPContext(ctx, 0)
+		gop, err := byID[id].rec.sess.EncodeGOPContext(ctx, 0)
 		if err != nil {
-			return fmt.Errorf("core: session %d: %w", id, err)
+			return map[int]error{id: fmt.Errorf("core: session %d: %w", id, err)}
 		}
 		out.GOPs[id] = gop
 	}
@@ -206,7 +546,7 @@ func (s *Server) encodeSequential(ctx context.Context, alloc *sched.Result, acti
 // depend on goroutine scheduling: sessions share only the internally
 // synchronized, order-insensitive workload LUT, and per-session state is
 // touched by exactly one goroutine.
-func (s *Server) encodeConcurrent(ctx context.Context, alloc *sched.Result, active map[int]*Session, out *GOPOutcome) error {
+func (s *Server) encodeConcurrent(ctx context.Context, alloc *sched.Result, byID map[int]*roundSession, out *GOPOutcome) map[int]error {
 	gops := make([]*GOPReport, len(alloc.Admitted))
 	errs := make([]error, len(alloc.Admitted))
 	var wg sync.WaitGroup
@@ -228,19 +568,22 @@ func (s *Server) encodeConcurrent(ctx context.Context, alloc *sched.Result, acti
 					errs[i] = fmt.Errorf("core: session %d: estimate-ahead: %w", sess.ID, err)
 				}
 			}
-		}(i, active[id])
+		}(i, byID[id].rec.sess)
 	}
 	wg.Wait()
-	var first error
+	var sessErrs map[int]error
 	for i, id := range alloc.Admitted {
 		if gops[i] != nil {
 			out.GOPs[id] = gops[i]
 		}
-		if errs[i] != nil && first == nil {
-			first = errs[i]
+		if errs[i] != nil {
+			if sessErrs == nil {
+				sessErrs = make(map[int]error)
+			}
+			sessErrs[id] = errs[i]
 		}
 	}
-	return first
+	return sessErrs
 }
 
 // ServeAll runs ServeGOP until every session finishes or maxRounds is
@@ -257,13 +600,15 @@ func (s *Server) ServeAll(maxRounds int) ([]*GOPOutcome, error) {
 func (s *Server) ServeAllContext(ctx context.Context, maxRounds int) ([]*GOPOutcome, error) {
 	var outs []*GOPOutcome
 	for round := 0; round < maxRounds; round++ {
+		s.mu.Lock()
 		done := true
-		for _, sess := range s.sessions {
-			if !sess.Finished() {
+		for _, rec := range s.records {
+			if rec.state == StateQueued && !rec.sess.Finished() {
 				done = false
 				break
 			}
 		}
+		s.mu.Unlock()
 		if done {
 			return outs, nil
 		}
@@ -274,7 +619,7 @@ func (s *Server) ServeAllContext(ctx context.Context, maxRounds int) ([]*GOPOutc
 		if err != nil {
 			return outs, err
 		}
-		if len(out.AdmittedUsers) == 0 {
+		if len(out.AdmittedUsers) == 0 && len(out.TimedOut) == 0 {
 			return outs, fmt.Errorf("core: no user admitted in round %d — demands exceed platform", round)
 		}
 	}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/medgen"
+	"repro/internal/mpsoc"
+	"repro/internal/video"
+)
+
+// driftModel returns a deterministic TimeModel simulating a host that
+// slows down as it runs (thermal drift): the modeled tile time grows with
+// every tile the session encodes. Deterministic — it depends only on tile
+// geometry and call order, both fixed for a given source — so service runs
+// that differ only in calibration see identical "measurements".
+func driftModel() func(codec.TileStats) time.Duration {
+	n := 0
+	return func(ts codec.TileStats) time.Duration {
+		n++
+		base := time.Duration(ts.Tile.Area()) * 40 * time.Nanosecond
+		return base + base*time.Duration(n)/25
+	}
+}
+
+// churnService runs the acceptance scenario: two sessions are submitted
+// up front, two more arrive at staggered times (after rounds 0 and 1) from
+// the OnRound hook, and the queue closes once everyone is in.
+func churnService(t *testing.T, calibrate bool) (*ServiceReport, *Server) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Platform:    mpsoc.XeonE5_2667V4(),
+		FPS:         24,
+		Calibration: CalibrationConfig{Enabled: calibrate, Alpha: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
+	submit := func(i int) {
+		cfg := testSessionConfig(ModeProposed)
+		cfg.TimeModel = driftModel()
+		if _, err := srv.Submit(testSource(t, medgen.Brain, motions[i], 16), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit(0)
+	submit(1)
+	srv.cfg.OnRound = func(out *GOPOutcome) {
+		switch out.Round {
+		case 0:
+			submit(2)
+		case 1:
+			submit(3)
+			srv.Close()
+		}
+	}
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, srv
+}
+
+// TestRunServesChurnWithoutLosingReports is the acceptance scenario:
+// sessions submitted at staggered times are admitted, served and completed
+// by Run with zero lost GOP reports.
+func TestRunServesChurnWithoutLosingReports(t *testing.T) {
+	rep, srv := churnService(t, true)
+
+	if rep.Submitted != 4 {
+		t.Fatalf("submitted %d, want 4", rep.Submitted)
+	}
+	if len(rep.Completed) != 4 || len(rep.Rejected) != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("completed %v rejected %v failed %v", rep.Completed, rep.Rejected, rep.Failed)
+	}
+	for id := 0; id < 4; id++ {
+		if st, ok := srv.StateOf(id); !ok || st != StateCompleted {
+			t.Fatalf("session %d state %v", id, st)
+		}
+		if !srv.Sessions()[id].Finished() {
+			t.Fatalf("session %d not finished", id)
+		}
+	}
+	// Zero lost reports: 4 sessions × 16 frames in GOPs of 4.
+	if rep.FramesEncoded != 4*16 {
+		t.Fatalf("frames encoded %d, want %d", rep.FramesEncoded, 4*16)
+	}
+	if rep.GOPReports != 4*4 {
+		t.Fatalf("GOP reports %d, want %d", rep.GOPReports, 4*4)
+	}
+	// The late arrivals really were late: round 0 served only sessions
+	// 0 and 1, and some later round served all four.
+	if got := rep.Outcomes[0].AdmittedUsers; len(got) != 2 {
+		t.Fatalf("round 0 admitted %v, want the two initial sessions", got)
+	}
+	sawFour := false
+	for _, out := range rep.Outcomes {
+		if len(out.AdmittedUsers) == 4 {
+			sawFour = true
+		}
+	}
+	if !sawFour {
+		t.Fatal("no round served all four sessions — churn did not overlap")
+	}
+	if rep.Energy.Slots != rep.Rounds || rep.Energy.EnergyJ <= 0 {
+		t.Fatalf("energy totals inconsistent: %+v over %d rounds", rep.Energy, rep.Rounds)
+	}
+}
+
+// TestCalibrationLowersEstimateError is the measurement-calibration
+// acceptance criterion: on a drifting host, after ≥3 calibration rounds
+// the mean relative stage-D1 estimate error is strictly lower with the
+// calibration loop than without it. Both runs see identical deterministic
+// "measurements" (driftModel), so the comparison is exact, not a timing
+// race.
+func TestCalibrationLowersEstimateError(t *testing.T) {
+	repOff, _ := churnService(t, false)
+	repOn, _ := churnService(t, true)
+
+	if repOn.Rounds != repOff.Rounds {
+		t.Fatalf("calibration changed the round count: %d vs %d", repOn.Rounds, repOff.Rounds)
+	}
+	// Calibration corrects estimates, never bits: both runs must produce
+	// identical bitstreams.
+	for r := range repOn.Outcomes {
+		for id, gop := range repOn.Outcomes[r].GOPs {
+			if other := repOff.Outcomes[r].GOPs[id]; other == nil || other.Digest != gop.Digest {
+				t.Fatalf("round %d session %d: calibration changed the bitstream", r, id)
+			}
+		}
+	}
+	errOn, tilesOn := repOn.MeanEstimateErr(3)
+	errOff, tilesOff := repOff.MeanEstimateErr(3)
+	if tilesOn == 0 || tilesOn != tilesOff {
+		t.Fatalf("tile coverage differs: %d vs %d", tilesOn, tilesOff)
+	}
+	if errOff <= 0 {
+		t.Fatalf("uncalibrated error %v not positive — the drift scenario is broken", errOff)
+	}
+	if errOn >= errOff {
+		t.Fatalf("calibrated error %.4f not strictly below uncalibrated %.4f", errOn, errOff)
+	}
+	t.Logf("relative estimate error from round 3: calibrated %.4f vs uncalibrated %.4f (%d tiles)", errOn, errOff, tilesOn)
+}
+
+// goldenService runs two deterministic medgen sequences through Run and
+// returns per-session digest chains plus the report.
+func goldenService(t *testing.T, sequential, keepBits bool) (*ServiceReport, *Server, map[int][]uint64) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Platform:   mpsoc.XeonE5_2667V4(),
+		FPS:        24,
+		Workers:    2,
+		Sequential: sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []struct {
+		class  medgen.Class
+		motion medgen.MotionKind
+	}{
+		{medgen.Brain, medgen.Rotate},
+		{medgen.Chest, medgen.Pan},
+	}
+	for _, sp := range specs {
+		cfg := testSessionConfig(ModeProposed)
+		cfg.KeepBitstreams = keepBits
+		if _, err := srv.Submit(testSource(t, sp.class, sp.motion, 8), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make(map[int][]uint64)
+	for _, out := range rep.Outcomes {
+		for _, id := range out.AdmittedUsers {
+			digests[id] = append(digests[id], out.GOPs[id].Digest)
+		}
+	}
+	return rep, srv, digests
+}
+
+// TestRunGoldenRegression locks the service loop's output down: digests
+// are stable across runs, concurrent output is bit-identical to the
+// Sequential reference mode, and the retained bitstreams decode back to
+// exactly the quality the encoder reported.
+func TestRunGoldenRegression(t *testing.T) {
+	_, _, first := goldenService(t, false, false)
+	_, _, second := goldenService(t, false, false)
+	repSeq, _, seq := goldenService(t, true, false)
+
+	if len(first) != 2 {
+		t.Fatalf("digest chains for %d sessions, want 2", len(first))
+	}
+	for id, chain := range first {
+		if len(chain) != 2 { // 8 frames / GOP 4
+			t.Fatalf("session %d served %d GOPs, want 2", id, len(chain))
+		}
+		for g, d := range chain {
+			if d == 0 {
+				t.Fatalf("session %d GOP %d has empty digest", id, g)
+			}
+			if second[id][g] != d {
+				t.Fatalf("session %d GOP %d digest unstable across runs: %x vs %x", id, g, d, second[id][g])
+			}
+			if seq[id][g] != d {
+				t.Fatalf("session %d GOP %d: concurrent %x != sequential %x", id, g, d, seq[id][g])
+			}
+		}
+	}
+	if len(repSeq.Completed) != 2 {
+		t.Fatalf("sequential service completed %v", repSeq.Completed)
+	}
+
+	// Decode round-trip on retained bitstreams: the decoder must
+	// reconstruct exactly what the encoder measured, frame for frame.
+	rep, srv, _ := goldenService(t, false, true)
+	for _, sess := range srv.Sessions() {
+		dec, err := codec.NewDecoder(sess.Config().Codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := 0
+		for _, out := range rep.Outcomes {
+			gop := out.GOPs[sess.ID]
+			if gop == nil {
+				continue
+			}
+			for _, fr := range gop.Frames {
+				if fr.Bitstream == nil {
+					t.Fatalf("session %d frame %d: KeepBitstreams retained nothing", sess.ID, fr.Frame)
+				}
+				frame, err := dec.DecodeFrame(fr.Bitstream, gop.Grid)
+				if err != nil {
+					t.Fatalf("session %d frame %d: decode: %v", sess.ID, fr.Frame, err)
+				}
+				psnr, err := video.FramePSNR(frame, sourceFrameOf(t, srv, sess.ID, fr.Frame))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := video.CapPSNR(psnr, 100); !closeTo(got, fr.PSNR, 1e-9) {
+					t.Fatalf("session %d frame %d: decoded PSNR %.9f != reported %.9f — decoder out of sync",
+						sess.ID, fr.Frame, got, fr.PSNR)
+				}
+				decoded++
+			}
+		}
+		if decoded != 8 {
+			t.Fatalf("session %d decoded %d frames, want 8", sess.ID, decoded)
+		}
+	}
+}
+
+// sourceFrameOf re-renders the deterministic source frame a session saw.
+func sourceFrameOf(t *testing.T, srv *Server, id, n int) *video.Frame {
+	t.Helper()
+	return srv.Sessions()[id].src.Frame(n)
+}
+
+func closeTo(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// flatModel returns a deterministic constant-per-tile TimeModel, so
+// admission demands depend only on tile counts — no wall-clock noise.
+func flatModel(perTile time.Duration) func(codec.TileStats) time.Duration {
+	return func(codec.TileStats) time.Duration { return perTile }
+}
+
+// twoCorePlatform shrinks the paper platform to force overload.
+func twoCorePlatform() *mpsoc.Platform {
+	p := mpsoc.XeonE5_2667V4()
+	p.Cores = 2
+	return p
+}
+
+// TestAdmissionLadderDegradesAndServes: under overload a newcomer walks
+// the full ladder (uniform tiling, then QP offsets) in its arrival round,
+// waits for capacity, and still completes once the platform frees up.
+func TestAdmissionLadderDegradesAndServes(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Platform:  twoCorePlatform(),
+		FPS:       24,
+		Admission: AdmissionConfig{Enabled: true, MaxQueueRounds: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, motion := range []medgen.MotionKind{medgen.Rotate, medgen.Pan} {
+		cfg := testSessionConfig(ModeProposed)
+		cfg.TimeModel = flatModel(2500 * time.Microsecond)
+		if _, err := srv.Submit(testSource(t, medgen.Brain, motion, 8), cfg); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 2 || len(rep.Rejected) != 0 || len(rep.Failed) != 0 {
+		t.Fatalf("completed %v rejected %v failed %v", rep.Completed, rep.Rejected, rep.Failed)
+	}
+	// The overloaded round refused session 1 and the ladder degraded it.
+	if got := rep.Outcomes[0].RejectedUsers; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("round 0 rejected %v, want [1]", got)
+	}
+	victim := srv.Sessions()[1]
+	if !victim.Degraded() {
+		t.Fatal("ladder did not degrade the newcomer's tiling")
+	}
+	if victim.QPOffset() == 0 {
+		t.Fatal("ladder did not raise the newcomer's QP offset")
+	}
+	if srv.Sessions()[0].Degraded() || srv.Sessions()[0].QPOffset() != 0 {
+		t.Fatal("ladder degraded the admitted session too")
+	}
+	if rep.FramesEncoded != 2*8 {
+		t.Fatalf("frames encoded %d, want %d", rep.FramesEncoded, 2*8)
+	}
+}
+
+// TestAdmissionDeadlineRejectsStarvedSession: a session that cannot be
+// admitted before its queue deadline departs as StateRejected and the
+// service completes without it.
+func TestAdmissionDeadlineRejectsStarvedSession(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Platform:  twoCorePlatform(),
+		FPS:       24,
+		Admission: AdmissionConfig{Enabled: true, MaxQueueRounds: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSessionConfig(ModeProposed)
+	cfg.TimeModel = flatModel(2500 * time.Microsecond)
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The victim estimates from its own (cold, then oversized) class LUT
+	// and can never fit two-at-a-time next to session 0.
+	vcfg := testSessionConfig(ModeProposed)
+	vcfg.TimeModel = flatModel(30 * time.Millisecond)
+	if _, err := srv.Submit(testSource(t, medgen.Bone, medgen.Pan, 8), vcfg); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rep.Completed) != "[0]" || fmt.Sprint(rep.Rejected) != "[1]" {
+		t.Fatalf("completed %v rejected %v", rep.Completed, rep.Rejected)
+	}
+	if st, _ := srv.StateOf(1); st != StateRejected {
+		t.Fatalf("victim state %v, want rejected", st)
+	}
+	sawTimeout := false
+	for _, out := range rep.Outcomes {
+		for _, id := range out.TimedOut {
+			if id == 1 {
+				sawTimeout = true
+			}
+		}
+		if g := out.GOPs[1]; g != nil {
+			t.Fatal("rejected session has a GOP report")
+		}
+	}
+	if !sawTimeout {
+		t.Fatal("no round reported the victim's queue timeout")
+	}
+}
+
+// TestRunSurvivesSessionFailure: one session's mid-service encode failure
+// departs that session as StateFailed while the others stream on.
+func TestRunSurvivesSessionFailure(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	bad := &badAfterSource{FrameSource: testSource(t, medgen.Chest, medgen.Pan, 8), badFrom: 5}
+	if _, err := srv.Submit(bad, testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatalf("service stopped on a single session failure: %v", err)
+	}
+	if fmt.Sprint(rep.Completed) != "[0]" || fmt.Sprint(rep.Failed) != "[1]" {
+		t.Fatalf("completed %v failed %v", rep.Completed, rep.Failed)
+	}
+	if rep.Errors[1] == nil {
+		t.Fatal("failed session's error not reported")
+	}
+	if st, _ := srv.StateOf(1); st != StateFailed {
+		t.Fatalf("state %v, want failed", st)
+	}
+}
+
+// TestRunCancellation: a cancelled context stops the service promptly and
+// returns the partial report with the context error.
+func TestRunCancellation(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 16), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.cfg.OnRound = func(out *GOPOutcome) {
+		if out.Round == 0 {
+			cancel()
+		}
+	}
+	rep, err := srv.Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Rounds != 1 {
+		t.Fatalf("served %d rounds before noticing cancellation, want 1", rep.Rounds)
+	}
+}
+
+// TestRunWaitsForLateArrivals: Run blocks on an empty open queue and picks
+// up a session submitted from another goroutine, then exits on Close.
+func TestRunWaitsForLateArrivals(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		rep *ServiceReport
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := srv.Run(context.Background())
+		done <- result{rep, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let Run reach the idle wait
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if fmt.Sprint(r.rep.Completed) != "[0]" {
+			t.Fatalf("completed %v", r.rep.Completed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+}
+
+// TestRunRefusesConcurrentRun: the single-serving-goroutine contract is
+// enforced, not just documented.
+func TestRunRefusesConcurrentRun(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	go func() {
+		// Idle Run holding the serving slot.
+		close(blocked)
+		_, _ = srv.Run(context.Background())
+	}()
+	<-blocked
+	time.Sleep(10 * time.Millisecond)
+	if _, err := srv.Run(context.Background()); err == nil {
+		t.Fatal("second concurrent Run was allowed")
+	}
+	srv.Close()
+}
+
+// TestSubmitAfterCloseFails pins the arrival queue contract.
+func TestSubmitAfterCloseFails(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Still, 4), testSessionConfig(ModeProposed)); err == nil {
+		t.Fatal("Submit succeeded after Close")
+	}
+}
+
+// TestSessionsReturnsCopy pins the satellite fix: mutating the returned
+// slice must not corrupt the server's roster.
+func TestSessionsReturnsCopy(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.AddSession(testSource(t, medgen.Brain, medgen.Still, 4), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.Sessions()
+	got[0] = nil
+	if again := srv.Sessions(); again[0] == nil {
+		t.Fatal("Sessions returned the internal slice — callers can corrupt server state")
+	}
+}

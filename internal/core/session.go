@@ -14,6 +14,7 @@ import (
 	"repro/internal/quality"
 	"repro/internal/sched"
 	"repro/internal/tiling"
+	"repro/internal/transform"
 	"repro/internal/video"
 	"repro/internal/workload"
 )
@@ -63,6 +64,11 @@ type SessionConfig struct {
 	// that re-weights motion-estimation time to an HEVC encoder's cost
 	// structure (see experiments.KvazaarTimeModel).
 	TimeModel func(codec.TileStats) time.Duration
+	// KeepBitstreams retains each frame's encoded payload in
+	// FrameReport.Bitstream, so callers can decode-verify or persist the
+	// output. Off by default: a long-running service would otherwise hold
+	// every encoded byte in memory.
+	KeepBitstreams bool
 
 	// Ablation switches (DESIGN.md §5): each removes one contribution
 	// from the proposed pipeline while keeping the rest intact, so its
@@ -106,6 +112,9 @@ type FrameReport struct {
 	// session history, so equal digests across serving strategies prove
 	// the parallel serving loop is bit-identical to the sequential one.
 	Digest uint64
+	// Bitstream is the frame's encoded payload, retained only when
+	// SessionConfig.KeepBitstreams is set (nil otherwise).
+	Bitstream *codec.Bitstream
 }
 
 // GOPReport aggregates one group of pictures.
@@ -156,6 +165,16 @@ type Session struct {
 
 	// Baseline state.
 	baselineGrid *tiling.Grid
+
+	// qpOffset is the admission ladder's service-level degradation: a
+	// non-negative offset added to every tile's QP (both in the encode
+	// parameters and in the stage-D1 estimation keys), trading quality for
+	// a smaller workload so an overloaded platform can still admit the
+	// session. 0 outside overload.
+	qpOffset int
+	// degraded records that the admission ladder replaced the content
+	// -aware re-tiler with the uniform fallback grid for this session.
+	degraded bool
 
 	frame int // next frame to encode
 
@@ -229,6 +248,52 @@ func (s *Session) NextFrame() int { return s.frame }
 
 // Finished reports whether the whole video has been encoded.
 func (s *Session) Finished() bool { return s.frame >= s.src.Len() }
+
+// QPOffset returns the admission ladder's current QP degradation offset.
+func (s *Session) QPOffset() int { return s.qpOffset }
+
+// SetQPOffset installs a service-level QP degradation: off is added to
+// every tile's QP from the next encoded frame on (negative values clamp to
+// 0). Estimation keys shift with it, so stage D1 prices the degraded
+// configuration the encoder will actually run.
+func (s *Session) SetQPOffset(off int) {
+	if off < 0 {
+		off = 0
+	}
+	s.qpOffset = off
+}
+
+// effectiveQP applies the service-level QP offset within codec bounds.
+func (s *Session) effectiveQP(qp int) int {
+	qp += s.qpOffset
+	if qp < transform.MinQP {
+		qp = transform.MinQP
+	}
+	if qp > transform.MaxQP {
+		qp = transform.MaxQP
+	}
+	return qp
+}
+
+// Degraded reports whether the admission ladder has replaced the content
+// -aware re-tiler for this session.
+func (s *Session) Degraded() bool { return s.degraded }
+
+// Degrade switches the session to the uniform fallback tiling (the
+// admission ladder's first rung, applied to newcomers when the platform
+// cannot admit everyone) and re-runs stages A–C so subsequent estimation
+// prices the degraded grid. Only legal at a GOP boundary — mid-GOP the
+// tile structure is pinned by the frames already encoded.
+func (s *Session) Degrade() error {
+	if s.cfg.Codec.FrameInGOP(s.frame) != 0 {
+		return fmt.Errorf("core: session %d cannot degrade mid-GOP (frame %d)", s.ID, s.frame)
+	}
+	s.degraded = true
+	s.cfg.DisableRetile = true
+	s.grid = nil
+	s.preparedFor = -1
+	return s.PrepareForEstimation()
+}
 
 // prepareGOP runs stages A–C for the GOP starting at the current frame:
 // evaluate motion and texture, re-tile, reset per-tile QPs and the motion
@@ -368,19 +433,19 @@ func (s *Session) tileParams() []codec.TileParams {
 	for i, tc := range s.contents {
 		if s.cfg.Mode == ModeBaseline {
 			params[i] = codec.TileParams{
-				QP:       s.cfg.BaselineQP,
+				QP:       s.effectiveQP(s.cfg.BaselineQP),
 				Searcher: motion.TZSearch{},
 				Window:   s.cfg.BaselineWindow,
 			}
 			continue
 		}
 		if s.cfg.DisableFastME {
-			params[i] = codec.TileParams{QP: s.qps[i], Searcher: motion.TZSearch{}, Window: 64}
+			params[i] = codec.TileParams{QP: s.effectiveQP(s.qps[i]), Searcher: motion.TZSearch{}, Window: 64}
 			continue
 		}
 		searcher, window := s.policy.Choose(i, tc.Motion == analysis.MotionHigh, frameInGOP)
 		params[i] = codec.TileParams{
-			QP:       s.qps[i],
+			QP:       s.effectiveQP(s.qps[i]),
 			Searcher: searcher,
 			Window:   window,
 			Pred:     s.policy.PredFor(i, frameInGOP),
@@ -458,6 +523,9 @@ func (s *Session) EncodeNextFrameContext(ctx context.Context, workers int) (*Fra
 		EncodeTime: stats.EncodeTime,
 		Tiles:      stats.Tiles,
 		Digest:     bitstreamDigest(bs),
+	}
+	if s.cfg.KeepBitstreams {
+		rep.Bitstream = bs
 	}
 	s.frame++
 	return rep, nil
@@ -538,7 +606,7 @@ func (s *Session) EstimateThreads() ([]sched.Thread, error) {
 			qp = s.qps[i]
 			_, window = s.policy.Choose(i, tc.Motion == analysis.MotionHigh, frameInGOP)
 		}
-		key := workload.MakeKey(s.grid.Tiles[i].Area(), int(tc.Texture), int(tc.Motion), qp, window)
+		key := workload.MakeKey(s.grid.Tiles[i].Area(), int(tc.Texture), int(tc.Motion), s.effectiveQP(qp), window)
 		threads[i] = sched.Thread{User: s.ID, Tile: i, TimeFmax: s.lut.Estimate(key)}
 	}
 	return threads, nil

@@ -233,6 +233,50 @@ func (p *Platform) SimulateSlot(plans []CorePlan, slot time.Duration) (*SlotRepo
 	return rep, nil
 }
 
+// Totals accumulates SlotReports across a service run — the long-horizon
+// view a serving loop reports (total energy, deadline misses, carry-over)
+// where SlotReport is the per-slot view.
+type Totals struct {
+	// Slots counts accumulated reports; Time is their summed slot length.
+	Slots int
+	Time  time.Duration
+	// EnergyJ is the total energy over all accumulated slots.
+	EnergyJ float64
+	// PeakPowerW is the highest per-slot average power seen.
+	PeakPowerW float64
+	// DeadlineMisses sums the per-slot miss counts.
+	DeadlineMisses int
+	// CarryOver sums the work (at fmax) that slipped past its slot.
+	CarryOver time.Duration
+}
+
+// Add folds one slot report into the totals. Nil reports are ignored so
+// callers can pass partial outcomes unconditionally.
+func (t *Totals) Add(r *SlotReport) {
+	if r == nil {
+		return
+	}
+	t.Slots++
+	t.Time += r.Slot
+	t.EnergyJ += r.EnergyJ
+	if r.AvgPowerW > t.PeakPowerW {
+		t.PeakPowerW = r.AvgPowerW
+	}
+	t.DeadlineMisses += r.DeadlineMisses
+	for _, c := range r.CarryOver {
+		t.CarryOver += c
+	}
+}
+
+// AvgPowerW returns the average power over all accumulated slots (0 when
+// empty).
+func (t *Totals) AvgPowerW() float64 {
+	if t.Time <= 0 {
+		return 0
+	}
+	return t.EnergyJ / t.Time.Seconds()
+}
+
 // LevelByHz returns the index of the level with the given frequency.
 func (p *Platform) LevelByHz(hz float64) (int, error) {
 	for i, l := range p.Levels {

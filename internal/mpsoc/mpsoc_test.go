@@ -253,3 +253,54 @@ func TestEnergyNonNegativeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTotalsAccumulateSlotReports(t *testing.T) {
+	p := XeonE5_2667V4()
+	slot := time.Second / 24
+	// One idle slot, one overloaded slot.
+	idle := make([]CorePlan, p.Cores)
+	for i := range idle {
+		idle[i] = CorePlan{Gated: true}
+	}
+	over := make([]CorePlan, p.Cores)
+	for i := range over {
+		over[i] = CorePlan{Gated: true}
+	}
+	over[0] = CorePlan{LoadAtFmax: 2 * slot, BusyLevel: p.MaxLevel(), IdleLevel: p.MinLevel()}
+
+	var tot Totals
+	tot.Add(nil) // nil-safe
+	r1, err := p.SimulateSlot(idle, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.SimulateSlot(over, slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot.Add(r1)
+	tot.Add(r2)
+
+	if tot.Slots != 2 || tot.Time != 2*slot {
+		t.Fatalf("slots=%d time=%v", tot.Slots, tot.Time)
+	}
+	if want := r1.EnergyJ + r2.EnergyJ; tot.EnergyJ != want {
+		t.Fatalf("energy %v, want %v", tot.EnergyJ, want)
+	}
+	if tot.DeadlineMisses != 1 {
+		t.Fatalf("misses = %d, want 1", tot.DeadlineMisses)
+	}
+	if tot.CarryOver <= 0 {
+		t.Fatal("no carry-over accumulated from the overloaded slot")
+	}
+	if tot.PeakPowerW != r2.AvgPowerW {
+		t.Fatalf("peak %v, want the overloaded slot's %v", tot.PeakPowerW, r2.AvgPowerW)
+	}
+	if avg := tot.AvgPowerW(); avg <= 0 || avg > tot.PeakPowerW {
+		t.Fatalf("avg power %v out of range", avg)
+	}
+	var empty Totals
+	if empty.AvgPowerW() != 0 {
+		t.Fatal("empty totals must report zero power")
+	}
+}

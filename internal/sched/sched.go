@@ -80,6 +80,12 @@ type Result struct {
 	// the allocation actually planned, and what the serving loop passes
 	// to the encoder as that session's tile-worker budget.
 	UserCores map[int]int
+	// DemandCores reports every candidate user's core demand as the
+	// admission step saw it (Algorithm 2 line 1 for the content-aware
+	// family; the thread count for the baseline's one-thread-per-core
+	// rule). It covers rejected users too, so the serving loop's admission
+	// ladder and service reports can explain *why* a user did not fit.
+	DemandCores map[int]int
 }
 
 // CoresOf returns the number of distinct cores assigned to a user,
@@ -185,7 +191,7 @@ func AllocateContentAware(in Input) (*Result, error) {
 	budget := 0
 	for _, u := range in.Users {
 		if containsID(res.Admitted, u.User) {
-			budget += u.CoresNeeded(in.FPS)
+			budget += res.DemandCores[u.User]
 		}
 	}
 	if budget < 1 {
@@ -286,6 +292,10 @@ func AllocateBaseline(in Input) (*Result, error) {
 		}
 		return in.Users[order[a]].User < in.Users[order[b]].User
 	})
+	res.DemandCores = make(map[int]int, len(in.Users))
+	for _, u := range in.Users {
+		res.DemandCores[u.User] = len(u.Threads)
+	}
 	next := 0
 	for _, idx := range order {
 		u := in.Users[idx]
@@ -399,9 +409,13 @@ func admitAscending(in Input, res *Result) ([]Thread, error) {
 	})
 	budget := in.Platform.Cores
 	var pool []Thread
+	res.DemandCores = make(map[int]int, len(in.Users))
+	for _, u := range in.Users {
+		res.DemandCores[u.User] = u.CoresNeeded(in.FPS)
+	}
 	for _, idx := range order {
 		u := in.Users[idx]
-		need := u.CoresNeeded(in.FPS)
+		need := res.DemandCores[u.User]
 		if need <= budget {
 			budget -= need
 			res.Admitted = append(res.Admitted, u.User)

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCalibrateSeedsAndTracks(t *testing.T) {
+	l := NewLUT()
+	k := MakeKey(64*64, 1, 1, 32, 16)
+	l.Calibrate(k, 4*time.Millisecond, 0.5)
+	if got := l.Estimate(k); got != 4*time.Millisecond {
+		t.Fatalf("first calibration should seed the EWMA, got %v", got)
+	}
+	l.Calibrate(k, 8*time.Millisecond, 0.5)
+	if got := l.Estimate(k); got != 6*time.Millisecond {
+		t.Fatalf("EWMA after 4ms,8ms at α=0.5 should be 6ms, got %v", got)
+	}
+	if l.Calibrations() != 2 {
+		t.Fatalf("calibrations = %d, want 2", l.Calibrations())
+	}
+}
+
+func TestCalibrationTakesPrecedenceOverMean(t *testing.T) {
+	l := NewLUT()
+	k := MakeKey(64*64, 0, 0, 32, 16)
+	for i := 0; i < 50; i++ {
+		l.Observe(k, 10*time.Millisecond)
+	}
+	l.Calibrate(k, 2*time.Millisecond, 0.5)
+	if got := l.Estimate(k); got != 2*time.Millisecond {
+		t.Fatalf("calibrated key must estimate from the EWMA, got %v", got)
+	}
+}
+
+func TestCalibrationTracksDriftFasterThanMean(t *testing.T) {
+	// The point of the serving loop's calibration: under a drifting host
+	// the EWMA stays close to the latest measurement while the lifetime
+	// mean lags half the drift behind.
+	mean := NewLUT()
+	cal := NewLUT()
+	k := MakeKey(96*96, 1, 1, 32, 16)
+	var last time.Duration
+	for i := 0; i < 40; i++ {
+		d := time.Duration(1+i) * time.Millisecond // steady upward drift
+		mean.Observe(k, d)
+		cal.Observe(k, d)
+		cal.Calibrate(k, d, 0.5)
+		last = d
+	}
+	meanErr := (last - mean.Estimate(k)).Abs()
+	calErr := (last - cal.Estimate(k)).Abs()
+	if calErr >= meanErr {
+		t.Fatalf("calibrated error %v not below lifetime-mean error %v", calErr, meanErr)
+	}
+}
+
+func TestCalibrateClampsAdversarialFeedback(t *testing.T) {
+	l := NewLUT()
+	k := MakeKey(64*64, 2, 1, 42, 8)
+	l.Calibrate(k, -time.Hour, 0.5)
+	if got := l.Estimate(k); got != 0 {
+		t.Fatalf("negative feedback should clamp to 0, got %v", got)
+	}
+	l.Calibrate(k, time.Duration(math.MaxInt64), 1)
+	if got := l.Estimate(k); got < 0 || got > maxObservation {
+		t.Fatalf("huge feedback should clamp to [0, %v], got %v", maxObservation, got)
+	}
+	// Degenerate alphas fall back to the default instead of freezing or
+	// exploding the EWMA.
+	for _, alpha := range []float64{0, -3, 2, math.NaN(), math.Inf(1)} {
+		l.Calibrate(k, 5*time.Millisecond, alpha)
+		if got := l.Estimate(k); got < 0 || got > maxObservation {
+			t.Fatalf("alpha %v produced out-of-range estimate %v", alpha, got)
+		}
+	}
+}
+
+func TestCalibrateOnlyKeyServesNearestFallback(t *testing.T) {
+	// A key known only through calibration must still back unknown-key
+	// estimation, like any observed key.
+	l := NewLUT()
+	k := MakeKey(64*64, 2, 1, 27, 64)
+	l.Calibrate(k, 3*time.Millisecond, 0.5)
+	probe := MakeKey(64*64, 2, 1, 32, 64)
+	if got := l.Estimate(probe); got != 3*time.Millisecond {
+		t.Fatalf("nearest-key fallback ignored calibrated key: %v", got)
+	}
+}
+
+func TestCalibrateDoesNotPolluteObserveChannel(t *testing.T) {
+	l := NewLUT()
+	k := MakeKey(64*64, 0, 0, 32, 8)
+	l.Calibrate(k, time.Millisecond, 0.5)
+	if l.Observations() != 0 {
+		t.Fatal("Calibrate must not count as an observation")
+	}
+	if _, n := l.MeanAbsError(); n != 0 {
+		t.Fatal("Calibrate must not touch the error statistic")
+	}
+}
+
+func TestNearestFallbackTieBreaksDeterministically(t *testing.T) {
+	// Two keys at equal distance from the probe: the estimate must come
+	// from the smaller key regardless of map iteration order.
+	probe := MakeKey(12*1024, 1, 1, 32, 16) // area class 1
+	lo := Key{AreaClass: 0, Texture: 1, Motion: 1, QPBucket: 2, SearchLevel: 4}
+	hi := Key{AreaClass: 2, Texture: 1, Motion: 1, QPBucket: 2, SearchLevel: 4}
+	for i := 0; i < 20; i++ {
+		l := NewLUT()
+		l.Observe(lo, 1*time.Millisecond)
+		l.Observe(hi, 9*time.Millisecond)
+		if got := l.Estimate(probe); got != 1*time.Millisecond {
+			t.Fatalf("run %d: tie-break not deterministic, got %v", i, got)
+		}
+	}
+}
+
+func TestConcurrentCalibrateAndEstimate(t *testing.T) {
+	l := NewLUT()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := MakeKey(64*64*(w%3+1), w%3, w%2, 27+w, 16)
+			for i := 0; i < 200; i++ {
+				l.Calibrate(k, time.Duration(100+i)*time.Microsecond, 0.5)
+				l.Observe(k, time.Duration(100+i)*time.Microsecond)
+				_ = l.Estimate(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Calibrations() != 8*200 {
+		t.Fatalf("calibrations = %d", l.Calibrations())
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzCalibrate drives the online LUT update path with arbitrary measured
+// -time feedback and checks the estimator's safety invariants:
+//
+//   - estimates are never negative and never exceed the observation cap
+//     (so no int64 overflow or sign flip can leak into stage D2, where a
+//     negative thread time is an allocator validation error);
+//   - monotone feedback stays monotone in area: when every measurement of
+//     a larger-area key is ≥ every measurement of a smaller-area key (the
+//     physical reality — more pixels cost more), the estimates preserve
+//     that order, because each key's EWMA and mean are convex combinations
+//     of its own observations.
+func FuzzCalibrate(f *testing.F) {
+	f.Add(int64(1500000), int64(2500000), uint16(500), uint8(1), uint8(1), uint8(32), uint8(16), uint8(3))
+	f.Add(int64(-5), int64(1<<62), uint16(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(1))
+	f.Add(int64(1<<62), int64(1<<62), uint16(1000), uint8(2), uint8(1), uint8(51), uint8(64), uint8(8))
+	f.Add(int64(0), int64(0), uint16(999), uint8(5), uint8(3), uint8(200), uint8(255), uint8(0))
+
+	f.Fuzz(func(t *testing.T, dA, dB int64, alphaMil uint16, tex, mot, qp, window uint8, rounds uint8) {
+		l := NewLUT()
+		alpha := float64(alphaMil) / 1000
+		// Two keys identical except for the area class.
+		small := Key{AreaClass: 0, Texture: int(tex % 3), Motion: int(mot % 2),
+			QPBucket: QPBucket(int(qp)), SearchLevel: SearchLevel(int(window) + 1)}
+		large := small
+		large.AreaClass = 2
+
+		lo, hi := time.Duration(dA), time.Duration(dB)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		n := int(rounds%16) + 1
+		for i := 0; i < n; i++ {
+			l.Observe(small, lo)
+			l.Observe(large, hi)
+			l.Calibrate(small, lo, alpha)
+			l.Calibrate(large, hi, alpha)
+		}
+
+		for _, k := range []Key{small, large} {
+			est := l.Estimate(k)
+			if est < 0 {
+				t.Fatalf("negative estimate %v for %v after feedback (%v, %v, α=%v)", est, k, dA, dB, alpha)
+			}
+			if est > maxObservation {
+				t.Fatalf("estimate %v for %v exceeds the observation cap", est, k)
+			}
+		}
+		if es, el := l.Estimate(small), l.Estimate(large); el < es {
+			t.Fatalf("monotone feedback inverted by estimation: small-area %v > large-area %v", es, el)
+		}
+		// The probe key between the two area classes must also estimate
+		// inside the safe range via the nearest-key fallback.
+		probe := small
+		probe.AreaClass = 1
+		if est := l.Estimate(probe); est < 0 || est > maxObservation {
+			t.Fatalf("fallback estimate %v out of range", est)
+		}
+	})
+}

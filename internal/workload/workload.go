@@ -98,13 +98,38 @@ func MakeKey(area int, texture, motion, qp, window int) Key {
 // realistic tile encode time.
 const numBins = 24
 
+// maxObservation caps a single observed duration. No real tile encode
+// takes anywhere near a minute; the cap keeps the running sum (and the
+// calibration EWMA) safely clear of int64 overflow under adversarial
+// feedback (see FuzzCalibrate).
+const maxObservation = time.Minute
+
+// clampObservation forces a measured duration into [0, maxObservation].
+func clampObservation(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	if d > maxObservation {
+		return maxObservation
+	}
+	return d
+}
+
 // histogram tracks observed durations with power-of-two µs bins plus exact
-// aggregates for the mean.
+// aggregates for the mean, and an optional calibration EWMA fed by the
+// serving loop (see LUT.Calibrate).
 type histogram struct {
 	count uint64
 	sum   time.Duration
 	// bins[i] counts observations in [2^i, 2^(i+1)) µs; bins[0] includes 0.
 	bins [numBins]uint64
+	// calCount/calEWMA hold the measurement-calibrated estimate: an
+	// exponentially-weighted mean of the times the server actually
+	// measured under this key. When present it takes precedence over the
+	// lifetime mean, because it tracks the host's *current* speed (thermal
+	// drift, co-located load) instead of averaging over all history.
+	calCount uint64
+	calEWMA  float64 // nanoseconds
 }
 
 func binFor(d time.Duration) int {
@@ -118,9 +143,7 @@ func binFor(d time.Duration) int {
 }
 
 func (h *histogram) add(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
+	d = clampObservation(d)
 	h.count++
 	h.sum += d
 	h.bins[binFor(d)]++
@@ -133,6 +156,18 @@ func (h *histogram) mean() time.Duration {
 	}
 	return time.Duration(int64(h.sum) / int64(h.count))
 }
+
+// value returns the histogram's best estimate: the calibration EWMA when
+// the key has been calibrated, the lifetime mean otherwise.
+func (h *histogram) value() time.Duration {
+	if h.calCount > 0 {
+		return time.Duration(h.calEWMA)
+	}
+	return h.mean()
+}
+
+// hasData reports whether the histogram can produce an estimate.
+func (h *histogram) hasData() bool { return h.count > 0 || h.calCount > 0 }
 
 // LUT is the per-class look-up table. It is safe for concurrent use: tiles
 // of one frame are encoded in parallel and all report observations.
@@ -153,10 +188,11 @@ func NewLUT() *LUT { return &LUT{m: make(map[Key]*histogram)} }
 // Observe records a measured tile encode time under key k. If a prior
 // estimate existed for k, the estimation error statistic is updated first.
 func (l *LUT) Observe(k Key, d time.Duration) {
+	d = clampObservation(d)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if h, ok := l.m[k]; ok && h.count > 0 {
-		e := h.mean() - d
+	if h, ok := l.m[k]; ok && h.hasData() {
+		e := h.value() - d
 		if e < 0 {
 			e = -e
 		}
@@ -173,29 +209,85 @@ func (l *LUT) Observe(k Key, d time.Duration) {
 	l.fallbackCount++
 }
 
-// Estimate predicts the encode time for key k. Unknown keys fall back to
-// the nearest known key (same texture/motion, closest area and QP), then to
-// the global mean, then to a conservative fixed prior.
+// Calibrate feeds one *server-measured* tile encode time back into the
+// table as an exponentially-weighted correction for key k:
+//
+//	ewma ← ewma + α·(measured − ewma)
+//
+// The first calibration of a key seeds the EWMA with the measurement.
+// Calibrated keys estimate from the EWMA instead of the lifetime mean, so
+// stage-D1 estimates converge toward the host's current timings instead of
+// dragging all of history (or a seeded prior) behind them. Alpha is
+// clamped to (0, 1]; non-positive values default to 0.5. Unlike Observe,
+// Calibrate does not touch the histogram, the global fallback mean, or the
+// error statistic — the serving loop calls both, on different channels.
+// The update is order-sensitive, so the server applies it from a single
+// goroutine in deterministic session order after each round.
+func (l *LUT) Calibrate(k Key, measured time.Duration, alpha float64) {
+	measured = clampObservation(measured)
+	if !(alpha > 0) || alpha > 1 { // NaN-safe: !(NaN > 0) is true
+		alpha = 0.5
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h := l.m[k]
+	if h == nil {
+		h = &histogram{}
+		l.m[k] = h
+	}
+	if h.calCount == 0 {
+		h.calEWMA = float64(measured)
+	} else {
+		h.calEWMA += alpha * (float64(measured) - h.calEWMA)
+	}
+	if h.calEWMA < 0 {
+		h.calEWMA = 0
+	}
+	if h.calEWMA > float64(maxObservation) {
+		h.calEWMA = float64(maxObservation)
+	}
+	h.calCount++
+}
+
+// Calibrations returns the total number of calibration updates applied.
+func (l *LUT) Calibrations() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var n uint64
+	for _, h := range l.m {
+		n += h.calCount
+	}
+	return n
+}
+
+// Estimate predicts the encode time for key k: the calibration EWMA when
+// the serving loop has calibrated the key (see Calibrate), the key's
+// lifetime mean otherwise. Unknown keys fall back to the nearest known key
+// (same texture/motion, closest area and QP), then to the global mean,
+// then to a conservative fixed prior.
 func (l *LUT) Estimate(k Key) time.Duration {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	if h, ok := l.m[k]; ok && h.count > 0 {
-		return h.mean()
+	if h, ok := l.m[k]; ok && h.hasData() {
+		return h.value()
 	}
 	// Nearest-key fallback: scan for the minimum key distance with data.
+	// Ties break toward the smaller key so the estimate does not depend on
+	// map iteration order — serving decisions must be reproducible.
 	var best *histogram
+	var bestK Key
 	bestD := 1 << 30
 	for kk, h := range l.m {
-		if h.count == 0 {
+		if !h.hasData() {
 			continue
 		}
 		d := keyDistance(k, kk)
-		if d < bestD {
-			best, bestD = h, d
+		if d < bestD || (d == bestD && less(kk, bestK)) {
+			best, bestK, bestD = h, kk, d
 		}
 	}
 	if best != nil {
-		return best.mean()
+		return best.value()
 	}
 	if l.fallbackCount > 0 {
 		return time.Duration(int64(l.fallbackSum) / int64(l.fallbackCount))
