@@ -3,15 +3,20 @@
 // the content-aware re-tiler, per-tile texture/motion classes and QPs, and
 // the frame-level rate/quality/time outcomes.
 //
-// With -users N (N > 1) it instead drives the online serving loop: N
-// sessions of mixed classes stream through core.Server.Run with the
-// overload-aware admission ladder and measurement-calibrated workload
-// estimation enabled, and the service report is printed at the end.
+// With -users N (N > 1) it instead drives the fleet serving API
+// (internal/serve): N sessions of mixed classes stream through -shards
+// parallel core.Server shards behind the consistent-hash dispatcher, with
+// the overload-aware admission ladder and measurement-calibrated workload
+// estimation enabled. -allocator selects the stage-D2 policy by registry
+// name, -sink selects the telemetry sink, and -luts persists the warmed
+// workload LUTs across restarts.
 //
 // Examples:
 //
 //	transcode -class brain -motion rotate -frames 48 -mode proposed
 //	transcode -users 8 -frames 32
+//	transcode -shards 3 -users 12 -frames 16 -sink jsonl -luts /tmp/luts.json
+//	transcode -users 6 -allocator baseline
 package main
 
 import (
@@ -21,10 +26,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/medgen"
 	"repro/internal/mpsoc"
+	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -41,7 +49,12 @@ func main() {
 		workers    = flag.Int("workers", 4, "tile-encoding workers")
 		verbose    = flag.Bool("v", false, "print per-frame rows")
 		yuvPath    = flag.String("yuv", "", "transcode a raw planar I420 file instead of a synthetic study (uses -width/-height/-class)")
-		users      = flag.Int("users", 1, "serve N concurrent synthetic sessions through the online serving loop")
+		users      = flag.Int("users", 1, "serve N concurrent synthetic sessions through the fleet serving loop")
+		shards     = flag.Int("shards", 1, "number of platform shards behind the fleet dispatcher")
+		allocator  = flag.String("allocator", sched.NameContentAware,
+			fmt.Sprintf("stage-D2 allocation policy: %s", strings.Join(sched.Names(), "|")))
+		sinkFlag = flag.String("sink", "report", "telemetry sink: report|jsonl|jsonl:PATH|none")
+		lutsPath = flag.String("luts", "", "persist warmed workload LUTs at PATH (loaded on start, saved on clean exit)")
 	)
 	flag.Parse()
 
@@ -49,8 +62,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *users > 1 {
-		if err := serveUsers(ctx, *users, *width, *height, *frames, *seed, *modeFlag); err != nil {
+	if *users > 1 || *shards > 1 {
+		err := serveFleet(ctx, fleetOpts{
+			users: *users, shards: *shards, width: *width, height: *height,
+			frames: *frames, seed: *seed, mode: *modeFlag,
+			allocator: *allocator, sink: *sinkFlag, luts: *lutsPath,
+		})
+		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "transcode: interrupted")
 				os.Exit(130)
@@ -141,26 +159,65 @@ func main() {
 	}
 }
 
-// serveUsers drives the online serving loop: n synthetic sessions of
-// rotating classes/motions are submitted up front, served by Server.Run
-// with the admission ladder and estimate calibration on, and the service
-// report is printed per round and in total.
-func serveUsers(ctx context.Context, n, width, height, frames int, seed int64, modeFlag string) error {
+type fleetOpts struct {
+	users, shards, width, height, frames int
+	seed                                 int64
+	mode, allocator, sink, luts          string
+}
+
+// buildSink maps the -sink flag to a serve.Sink; the returned RingSink is
+// non-nil when the final report should be reconstructed from it.
+func buildSink(spec string) (serve.Sink, *serve.RingSink, error) {
+	switch {
+	case spec == "none":
+		return nil, nil, nil
+	case spec == "report":
+		ring := serve.NewRingSink(256)
+		return ring, ring, nil
+	case spec == "jsonl":
+		return serve.NewJSONLSink(os.Stdout), nil, nil
+	case strings.HasPrefix(spec, "jsonl:"):
+		f, err := os.Create(strings.TrimPrefix(spec, "jsonl:"))
+		if err != nil {
+			return nil, nil, err
+		}
+		return serve.NewJSONLSink(f), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown sink %q (report|jsonl|jsonl:PATH|none)", spec)
+	}
+}
+
+// serveFleet drives the fleet serving API: n synthetic sessions of
+// rotating classes/motions are submitted up front, routed across the
+// shards by workload class, and served with the admission ladder and
+// estimate calibration on.
+func serveFleet(ctx context.Context, o fleetOpts) error {
 	mode := core.ModeProposed
-	switch modeFlag {
+	switch o.mode {
 	case "proposed":
 	case "baseline":
 		mode = core.ModeBaseline
 	default:
-		return fmt.Errorf("unknown mode %q", modeFlag)
+		return fmt.Errorf("unknown mode %q", o.mode)
 	}
-	srv, err := core.NewServer(core.ServerConfig{
-		Platform:    mpsoc.XeonE5_2667V4(),
-		FPS:         24,
-		Calibration: core.CalibrationConfig{Enabled: true},
-		Admission:   core.AdmissionConfig{Enabled: true},
-		OnRound: func(out *core.GOPOutcome) {
-			fmt.Printf("round %2d: admitted %v", out.Round, out.AdmittedUsers)
+	sink, ring, err := buildSink(o.sink)
+	if err != nil {
+		return err
+	}
+
+	// Cap each shard's live sessions at an even share of the submitted
+	// users: the synthetic corpus has only a handful of workload classes,
+	// so pure class routing can pile everyone on one shard — the capacity
+	// bound spills the overflow to the least-loaded shards.
+	capacity := (o.users + o.shards - 1) / o.shards
+	fleetOptions := []serve.Option{
+		serve.WithShards(o.shards),
+		serve.WithShardCapacity(capacity),
+		serve.WithAllocator(o.allocator),
+		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
+		serve.WithAdmission(core.AdmissionConfig{Enabled: true}),
+		serve.WithRoundHook(func(shard int, out *core.GOPOutcome) {
+			fmt.Printf("shard %d round %2d: admitted %v", shard, out.Round, out.AdmittedUsers)
 			if len(out.RejectedUsers) > 0 {
 				fmt.Printf(", waiting %v", out.RejectedUsers)
 			}
@@ -171,20 +228,28 @@ func serveUsers(ctx context.Context, n, width, height, frames int, seed int64, m
 				fmt.Printf(", estimate error %.1f%%", 100*out.EstimateErr)
 			}
 			fmt.Printf(", %.1f W\n", out.Energy.AvgPowerW)
-		},
-	})
+		}),
+	}
+	if sink != nil {
+		fleetOptions = append(fleetOptions, serve.WithSink(sink))
+	}
+	if o.luts != "" {
+		fleetOptions = append(fleetOptions, serve.WithLUTStore(o.luts))
+	}
+	fleet, err := serve.New(fleetOptions...)
 	if err != nil {
 		return err
 	}
+
 	classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
 	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
-	for i := 0; i < n; i++ {
+	for i := 0; i < o.users; i++ {
 		vc := medgen.Default()
-		vc.Width, vc.Height = width, height
-		vc.Frames = frames
+		vc.Width, vc.Height = o.width, o.height
+		vc.Frames = o.frames
 		vc.Class = classes[i%len(classes)]
 		vc.Motion = motions[i%len(motions)]
-		vc.Seed = seed + int64(i)
+		vc.Seed = o.seed + int64(i)
 		gen, err := medgen.NewGenerator(vc)
 		if err != nil {
 			return err
@@ -195,21 +260,39 @@ func serveUsers(ctx context.Context, n, width, height, frames int, seed int64, m
 		}
 		scfg := core.DefaultSessionConfig()
 		scfg.Mode = mode
-		if _, err := srv.Submit(src, scfg); err != nil {
+		p, err := fleet.Submit(src, scfg)
+		if err != nil {
 			return err
 		}
+		fmt.Printf("user %2d (%s) → shard %d (home %d)\n",
+			i, vc.Class, p.Shard, fleet.HomeShard(vc.Class.String()))
 	}
-	srv.Close()
+	fleet.Close()
 
-	fmt.Printf("serving %d users (%dx%d, %d frames each) on %d cores\n\n",
-		n, width, height, frames, mpsoc.XeonE5_2667V4().Cores)
-	rep, runErr := srv.Run(ctx)
-	fmt.Printf("\nservice report: %d rounds, %d/%d sessions completed (%d rejected, %d failed)\n",
-		rep.Rounds, len(rep.Completed), rep.Submitted, len(rep.Rejected), len(rep.Failed))
+	fmt.Printf("\nserving %d users on %d shard(s) of %d cores each, allocator %q\n\n",
+		o.users, o.shards, mpsoc.XeonE5_2667V4().Cores, o.allocator)
+	rep, runErr := fleet.Run(ctx)
+
+	fmt.Printf("\nfleet report: %d rounds over %d shards, %d/%d sessions completed (%d rejected, %d failed)\n",
+		rep.Rounds, len(rep.Shards), rep.Completed, rep.Submitted, rep.Rejected, rep.Failed)
 	fmt.Printf("  %d frames in %d GOP reports, %.1f J total (avg %.1f W, peak %.1f W), %d deadline misses\n",
 		rep.FramesEncoded, rep.GOPReports, rep.Energy.EnergyJ, rep.Energy.AvgPowerW(), rep.Energy.PeakPowerW, rep.Energy.DeadlineMisses)
-	if e, tiles := rep.MeanEstimateErr(0); tiles > 0 {
-		fmt.Printf("  mean stage-D1 estimate error %.1f%% over %d tiles\n", 100*e, tiles)
+	for _, sr := range rep.Shards {
+		status := "ok"
+		if sr.Err != nil {
+			status = sr.Err.Error()
+		}
+		fmt.Printf("  shard %d: %d rounds, %d completed, %d restarts [%s]\n",
+			sr.Shard, sr.Report.Rounds, len(sr.Report.Completed), sr.Restarts, status)
+	}
+	if ring != nil {
+		if e, tiles := ring.Report(-1).MeanEstimateErr(0); tiles > 0 {
+			fmt.Printf("  mean stage-D1 estimate error %.1f%% over %d tiles (ring sink, %d rounds dropped)\n",
+				100*e, tiles, ring.Dropped())
+		}
+	}
+	if o.luts != "" && runErr == nil {
+		fmt.Printf("  workload LUTs saved to %s\n", o.luts)
 	}
 	return runErr
 }

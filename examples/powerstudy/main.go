@@ -34,26 +34,21 @@ func main() {
 		return users
 	}
 
-	policies := []struct {
-		name  string
-		alloc func(sched.Input) (*sched.Result, error)
-	}{
-		{"Algorithm 2 (dense + DVFS)", sched.AllocateContentAware},
-		{"baseline [19] (1 tile/core @fmax)", sched.AllocateBaseline},
-		{"greedy least-loaded", sched.AllocateGreedyLeastLoaded},
-		{"round robin", sched.AllocateRoundRobin},
-	}
+	// Every registered allocation policy competes — a policy added to the
+	// sched registry shows up here (and in transcode -allocator) with no
+	// further wiring.
+	policies := sched.Default.All()
 
-	fmt.Printf("%-34s", "users:")
+	fmt.Printf("%-52s", "users:")
 	counts := []int{2, 4, 6, 8}
 	for _, n := range counts {
 		fmt.Printf("%10d", n)
 	}
 	fmt.Println()
 	for _, p := range policies {
-		fmt.Printf("%-34s", p.name)
+		fmt.Printf("%-52s", fmt.Sprintf("%s (%s)", p.Name, p.Description))
 		for _, n := range counts {
-			res, err := p.alloc(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n)})
+			res, err := p.Func(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n)})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -68,10 +63,10 @@ func main() {
 
 	fmt.Println("\ncores used at 6 users:")
 	for _, p := range policies {
-		res, err := p.alloc(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(6)})
+		res, err := p.Func(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(6)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("   %-34s %d cores, %d users admitted\n", p.name, res.CoresUsed, len(res.Admitted))
+		fmt.Printf("   %-14s %d cores, %d users admitted\n", p.Name, res.CoresUsed, len(res.Admitted))
 	}
 }

@@ -1,6 +1,8 @@
 // Quickstart: generate a synthetic bio-medical video, run the paper's
 // content-aware transcoding pipeline on it, and print what each stage
-// decided — the minimal end-to-end tour of the public API.
+// decided — the minimal end-to-end tour of the single-session API. For
+// the serving entry point — many users across many platform shards —
+// see serve.New (README.md and examples/telemedicine).
 package main
 
 import (

@@ -1,11 +1,13 @@
-// Telemedicine: the paper's motivating scenario — a hospital server
-// transcoding many diagnostic videos online for doctors on mobile devices.
-// Unlike a batch job, the service is long-lived: consultations start and
-// end at arbitrary times. Users are submitted to the serving loop at
-// staggered arrivals, Server.Run admits as many as fit each GOP round
-// (Algorithm 2), degrades newcomers through the admission ladder when the
-// platform saturates, and calibrates its workload estimates against the
-// encode times it actually measures.
+// Telemedicine: the paper's motivating scenario — a hospital group
+// transcoding many diagnostic videos online for doctors on mobile
+// devices. Unlike a batch job, the service is long-lived: consultations
+// start and end at arbitrary times. This example drives the fleet
+// serving API (serve.New): two small MPSoC shards sit behind one front
+// door, arrivals are routed by body-part class so each shard's workload
+// LUTs stay warm, the admission ladder degrades newcomers when a shard
+// saturates (uniform tiling → higher QP → half frame rate → bounded
+// queue), and a ring-buffer sink keeps the service observable without
+// growing with every GOP.
 package main
 
 import (
@@ -17,23 +19,27 @@ import (
 	"repro/internal/core"
 	"repro/internal/medgen"
 	"repro/internal/mpsoc"
+	"repro/internal/serve"
 )
 
 func main() {
 	const (
-		arrivals   = 12 // sessions over the whole service
-		upfront    = 4  // already waiting when the service starts
-		gopsPerArr = 1  // one new arrival per served round until drained
+		arrivals = 12 // sessions over the whole service
+		upfront  = 4  // already waiting when the service starts
+		shards   = 2  // platforms behind the front door
 	)
 
-	// A deliberately small platform so arrivals overlap and the admission
+	// Deliberately small platforms so arrivals overlap and the admission
 	// ladder has work to do.
-	platform := mpsoc.XeonE5_2667V4()
-	platform.Cores = 4
+	mkPlatform := func() *mpsoc.Platform {
+		p := mpsoc.XeonE5_2667V4()
+		p.Cores = 4
+		return p
+	}
 
 	classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
 	submitted := 0
-	var srv *core.Server
+	var fleet *serve.Fleet
 	submit := func() error {
 		vc := medgen.Default()
 		vc.Width, vc.Height = 320, 240 // keep the example quick
@@ -50,24 +56,27 @@ func main() {
 		}
 		cfg := core.DefaultSessionConfig()
 		cfg.Retile.MinTileW, cfg.Retile.MinTileH = 48, 48
-		sess, err := srv.Submit(src, cfg)
+		p, err := fleet.Submit(src, cfg)
 		if err != nil {
 			return err
 		}
 		submitted++
-		fmt.Printf("   → user %d (%s) joined\n", sess.ID, vc.Class)
+		fmt.Printf("   → %s consultation joined shard %d as user %d (class home: shard %d)\n",
+			vc.Class, p.Shard, p.Session.ID, fleet.HomeShard(vc.Class.String()))
 		return nil
 	}
 
+	ring := serve.NewRingSink(64)
 	var err error
-	srv, err = core.NewServer(core.ServerConfig{
-		Platform:    platform,
-		FPS:         24,
-		Calibration: core.CalibrationConfig{Enabled: true},
-		Admission:   core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16},
-		OnRound: func(out *core.GOPOutcome) {
-			fmt.Printf("round %2d: served %d users on %d cores, %.1f W",
-				out.Round, len(out.AdmittedUsers), out.Allocation.CoresUsed, out.Energy.AvgPowerW)
+	fleet, err = serve.New(
+		serve.WithPlatforms(mkPlatform(), mkPlatform()),
+		serve.WithShardCapacity(4),
+		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
+		serve.WithAdmission(core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16}),
+		serve.WithSink(ring),
+		serve.WithRoundHook(func(shard int, out *core.GOPOutcome) {
+			fmt.Printf("shard %d round %2d: served %d users on %d cores, %.1f W",
+				shard, out.Round, len(out.AdmittedUsers), out.Allocation.CoresUsed, out.Energy.AvgPowerW)
 			if len(out.RejectedUsers) > 0 {
 				fmt.Printf(", waiting %v", out.RejectedUsers)
 			}
@@ -75,18 +84,18 @@ func main() {
 				fmt.Printf(", estimate error %.1f%%", 100*out.EstimateErr)
 			}
 			fmt.Println()
-			// Session churn: one more consultation begins per round until
-			// the day's queue is drained, then the clinic closes.
-			for i := 0; i < gopsPerArr && submitted < arrivals; i++ {
+			// Session churn: one more consultation begins per served round
+			// until the day's queue is drained, then the clinic closes.
+			if submitted < arrivals {
 				if err := submit(); err != nil {
 					log.Fatal(err)
 				}
 			}
 			if submitted == arrivals {
-				srv.Close()
+				fleet.Close()
 			}
-		},
-	})
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,27 +106,24 @@ func main() {
 		}
 	}
 	if upfront == arrivals {
-		srv.Close()
+		fleet.Close()
 	}
 
 	start := time.Now()
-	rep, err := srv.Run(context.Background())
+	rep, err := fleet.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("\nservice closed after %d rounds (%v wall): %d/%d completed, %d rejected, %d failed\n",
-		rep.Rounds, wall.Round(time.Millisecond), len(rep.Completed), rep.Submitted, len(rep.Rejected), len(rep.Failed))
+	fmt.Printf("\nclinic closed after %d rounds on %d shards (%v wall): %d/%d completed, %d rejected, %d failed\n",
+		rep.Rounds, len(rep.Shards), wall.Round(time.Millisecond), rep.Completed, rep.Submitted, rep.Rejected, rep.Failed)
 	fmt.Printf("%d frames served, %.1f J simulated (avg %.1f W, peak %.1f W), %d deadline misses\n",
 		rep.FramesEncoded, rep.Energy.EnergyJ, rep.Energy.AvgPowerW(), rep.Energy.PeakPowerW, rep.Energy.DeadlineMisses)
-	if e, tiles := rep.MeanEstimateErr(0); tiles > 0 {
-		fmt.Printf("mean stage-D1 estimate error %.1f%% over %d tiles\n", 100*e, tiles)
+	if e, tiles := ring.Report(-1).MeanEstimateErr(0); tiles > 0 {
+		fmt.Printf("mean stage-D1 estimate error %.1f%% over %d tiles (ring sink)\n", 100*e, tiles)
 	}
-	for _, sess := range srv.Sessions() {
-		if sess.Degraded() || sess.QPOffset() > 0 {
-			fmt.Printf("user %d was degraded by the admission ladder (uniform tiling: %v, QP offset: +%d)\n",
-				sess.ID, sess.Degraded(), sess.QPOffset())
-		}
+	for _, sr := range rep.Shards {
+		fmt.Printf("shard %d: %d rounds, completed %v\n", sr.Shard, sr.Report.Rounds, sr.Report.Completed)
 	}
 }

@@ -14,6 +14,9 @@ import (
 //	rung 1 — newcomers fall back to the uniform tiling (Session.Degrade);
 //	rung 2+ — the session's QP is offset upward in QPOffsetStep increments
 //	          up to MaxQPOffset, shrinking its estimated workload;
+//	next    — the session's frame rate is halved (Session.HalveRate): it is
+//	          served every other GOP round, so a heavily-overloaded platform
+//	          keeps it connected at half rate instead of starving it;
 //	then    — the session queues, re-competing every round, for at most
 //	          MaxQueueRounds rounds before it is rejected for good.
 //
@@ -49,7 +52,9 @@ func (c AdmissionConfig) withDefaults() AdmissionConfig {
 }
 
 // Admission-ladder rungs recorded per session. rung 0 is full service;
-// rungDegradedTiling and up mark applied degradations.
+// rungDegradedTiling and up mark applied degradations. The final rung
+// after every QP step — frame-rate halving — is tracked on the session
+// itself (Session.RateHalved).
 const (
 	rungNone = iota
 	rungDegradedTiling
@@ -80,27 +85,38 @@ func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
 
 	if s.cfg.Admission.Enabled {
 		// One allocator pass per ladder escalation: degrade first, then
-		// QP offsets until MaxQPOffset. Bounded by the rung count, so a
-		// session that cannot fit at any service level stops escalating.
-		maxPasses := 2 + s.cfg.Admission.MaxQPOffset/s.cfg.Admission.QPOffsetStep
+		// QP offsets until MaxQPOffset, then the frame-rate rung. Bounded
+		// by the rung count, so a session that cannot fit at any service
+		// level stops escalating.
+		maxPasses := 3 + s.cfg.Admission.MaxQPOffset/s.cfg.Admission.QPOffsetStep
 		for pass := 0; pass < maxPasses && len(alloc.Rejected) > 0; pass++ {
-			escalated := false
+			escalated, demandChanged := false, false
 			for _, id := range alloc.Rejected {
 				rs := byID[id]
-				ok, err := s.escalate(rs)
+				applied, changed, err := s.escalate(rs)
 				if err != nil {
 					return nil, nil, err
 				}
-				if ok {
+				if changed {
 					// The degraded configuration changes the session's
 					// grid and/or keys: re-run stage D1 on it.
 					if err := s.estimate(rs); err != nil {
 						return nil, nil, err
 					}
+					demandChanged = true
+				}
+				if applied {
 					escalated = true
 				}
 			}
 			if !escalated {
+				break
+			}
+			if !demandChanged {
+				// Only the frame-rate rung applied: it changes nothing
+				// about this round's demand (its effect starts when the
+				// session is next served), so re-running the allocator on
+				// byte-identical input would just reproduce the rejection.
 				break
 			}
 			if alloc, err = s.cfg.Allocator(input()); err != nil {
@@ -126,13 +142,18 @@ func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
 	}
 	s.mu.Unlock()
 	sort.Ints(timedOut)
+	for _, id := range timedOut {
+		s.notifyState(id, StateRejected, nil)
+	}
 	return alloc, timedOut, nil
 }
 
 // escalate applies the next admission-ladder rung to a refused session.
 // It reports whether a degradation was applied (false once the ladder is
-// exhausted and the session can only queue).
-func (s *Server) escalate(rs *roundSession) (bool, error) {
+// exhausted and the session can only queue) and whether the degradation
+// changed the session's current-round demand — only then is a stage-D1
+// re-estimate and another allocator pass worth running.
+func (s *Server) escalate(rs *roundSession) (applied, demandChanged bool, err error) {
 	cfg := s.cfg.Admission
 	sess := rs.rec.sess
 	for {
@@ -144,9 +165,9 @@ func (s *Server) escalate(rs *roundSession) (bool, error) {
 			// skip to the QP rung.
 			if sess.NextFrame() == 0 && sess.Config().Mode == ModeProposed && !sess.Config().DisableRetile {
 				if err := sess.Degrade(); err != nil {
-					return false, err
+					return false, false, err
 				}
-				return true, nil
+				return true, true, nil
 			}
 		case sess.QPOffset() < cfg.MaxQPOffset:
 			rs.rec.rung++
@@ -155,9 +176,18 @@ func (s *Server) escalate(rs *roundSession) (bool, error) {
 				off = cfg.MaxQPOffset
 			}
 			sess.SetQPOffset(off)
-			return true, nil
+			return true, true, nil
+		case !sess.RateHalved():
+			// Frame-rate rung: the session is served every other GOP
+			// round from now on. Its per-round demand is unchanged (the
+			// allocator sees the same threads when it competes), but on
+			// alternating rounds it is absent entirely, freeing its share
+			// of the platform for the sessions it was crowding out.
+			rs.rec.rung++
+			sess.HalveRate()
+			return true, false, nil
 		default:
-			return false, nil
+			return false, false, nil
 		}
 	}
 }

@@ -68,6 +68,18 @@ type ServerConfig struct {
 	// sessions or Close the server (the loop picks both up on the next
 	// round) but must not call serving methods itself.
 	OnRound func(*GOPOutcome)
+	// OnSessionState, when set, is invoked on every session lifecycle
+	// transition: to StateQueued from the goroutine calling Submit, and to
+	// the terminal states from the serving goroutine as rounds settle. err
+	// is non-nil only for StateFailed. The callback runs outside the
+	// server's lock — it may call Submit, Close, StateOf, Load or Sessions,
+	// but not the serving methods. This is the hook the fleet dispatcher's
+	// telemetry sinks (internal/serve) are built on.
+	OnSessionState func(id int, state SessionState, err error)
+	// Store, when set, seeds the server with a pre-warmed per-class
+	// workload LUT store (for example one persisted by a previous service
+	// run — see workload.Store.Save/LoadStore) instead of an empty one.
+	Store *workload.Store
 }
 
 // SessionState is a session's position in the service lifecycle.
@@ -118,6 +130,10 @@ type sessionRecord struct {
 	// waited counts consecutive rounds the session was refused admission
 	// after the ladder ran out of degradation rungs.
 	waited int
+	// skipRound marks a rate-halved session (Session.HalveRate) to sit out
+	// the next round: set after each GOP it is served, cleared when the
+	// skip is taken, so the session encodes every other GOP.
+	skipRound bool
 }
 
 // Server serves many transcoding sessions on one platform: each GOP it
@@ -171,7 +187,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("core: calibration alpha %v outside (0, 1]", cfg.Calibration.Alpha)
 	}
 	cfg.Admission = cfg.Admission.withDefaults()
-	return &Server{cfg: cfg, store: workload.NewStore(), arrival: make(chan struct{}, 1)}, nil
+	store := cfg.Store
+	if store == nil {
+		store = workload.NewStore()
+	}
+	return &Server{cfg: cfg, store: store, arrival: make(chan struct{}, 1)}, nil
 }
 
 // Store exposes the per-class workload LUT store (shared across sessions).
@@ -193,18 +213,74 @@ func (s *Server) Submit(src FrameSource, cfg SessionConfig) (*Session, error) {
 	}
 	cfg.Workers = s.cfg.Workers
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: server closed to new sessions")
 	}
 	lut := s.store.ForClass(src.Class())
 	sess, err := NewSession(len(s.records), src, cfg, lut)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	s.records = append(s.records, &sessionRecord{sess: sess, lut: lut})
+	s.mu.Unlock()
 	s.wake()
+	s.notifyState(sess.ID, StateQueued, nil)
 	return sess, nil
+}
+
+// notifyState delivers one lifecycle transition to the OnSessionState hook.
+// Always called outside s.mu.
+func (s *Server) notifyState(id int, state SessionState, err error) {
+	if s.cfg.OnSessionState != nil {
+		s.cfg.OnSessionState(id, state, err)
+	}
+}
+
+// Load reports how many submitted sessions have not yet reached a terminal
+// state — the queue depth a dispatcher balances across shards. Safe from
+// any goroutine.
+func (s *Server) Load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rec := range s.records {
+		if rec.state == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// Abort fails every session not yet in a terminal state with err and
+// returns their ids (ascending). It is the dispatcher's last resort for a
+// shard whose serving loop died for good: the sessions cannot be served,
+// so they depart as StateFailed and the failure is observable through
+// StateOf, the final report of a later Run, and the OnSessionState hook.
+// Abort must not race a serving goroutine; it fails if a Run is active.
+func (s *Server) Abort(err error) ([]int, error) {
+	if err == nil {
+		err = fmt.Errorf("core: shard aborted")
+	}
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: Abort while Run is active")
+	}
+	var ids []int
+	for id, rec := range s.records {
+		if rec.state == StateQueued {
+			rec.state = StateFailed
+			rec.err = err
+			ids = append(ids, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.notifyState(id, StateFailed, err)
+	}
+	return ids, nil
 }
 
 // Close marks the arrival queue closed: no further Submit succeeds, and
@@ -332,21 +408,39 @@ func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, er
 	}
 
 	// Snapshot the live session set. Sessions finished outside the server
-	// are retired on sight so they never block Run's completion.
+	// are retired on sight so they never block Run's completion, and
+	// rate-halved sessions due a skip sit this round out — unless nobody
+	// else needs it, in which case skipping would only idle the platform.
 	s.mu.Lock()
 	var live []*roundSession
+	var skipped []*sessionRecord
+	var retired []int
 	for _, rec := range s.records {
 		if rec.state != StateQueued {
 			continue
 		}
 		if rec.sess.Finished() {
 			rec.state = StateCompleted
+			retired = append(retired, rec.sess.ID)
+			continue
+		}
+		if rec.skipRound {
+			rec.skipRound = false
+			skipped = append(skipped, rec)
 			continue
 		}
 		live = append(live, &roundSession{rec: rec})
 	}
+	if len(live) == 0 {
+		for _, rec := range skipped {
+			live = append(live, &roundSession{rec: rec})
+		}
+	}
 	round := s.rounds
 	s.mu.Unlock()
+	for _, id := range retired {
+		s.notifyState(id, StateCompleted, nil)
+	}
 	if len(live) == 0 {
 		return nil, nil, fmt.Errorf("core: no active sessions")
 	}
@@ -439,12 +533,18 @@ func (s *Server) demandOf(rs *roundSession) sched.UserDemand {
 // settleRound finalizes a round after the encodes: lifecycle transitions,
 // estimation-error accounting and LUT calibration.
 func (s *Server) settleRound(byID map[int]*roundSession, out *GOPOutcome, sessErrs map[int]error) {
-	for id, err := range sessErrs {
+	failedIDs := make([]int, 0, len(sessErrs))
+	for id := range sessErrs {
+		failedIDs = append(failedIDs, id)
+	}
+	sort.Ints(failedIDs)
+	for _, id := range failedIDs {
 		rs := byID[id]
 		s.mu.Lock()
 		rs.rec.state = StateFailed
-		rs.rec.err = err
+		rs.rec.err = sessErrs[id]
 		s.mu.Unlock()
+		s.notifyState(id, StateFailed, sessErrs[id])
 	}
 
 	// The built-in allocators return Admitted sorted by id, but a custom
@@ -502,10 +602,18 @@ func (s *Server) settleRound(byID map[int]*roundSession, out *GOPOutcome, sessEr
 				}
 			}
 		}
+		// A rate-halved session just served a GOP: it sits out the next
+		// round (admission ladder's frame-rate rung).
+		if rs.rec.sess.RateHalved() {
+			s.mu.Lock()
+			rs.rec.skipRound = true
+			s.mu.Unlock()
+		}
 		if rs.rec.sess.Finished() && sessErrs[id] == nil {
 			s.mu.Lock()
 			rs.rec.state = StateCompleted
 			s.mu.Unlock()
+			s.notifyState(id, StateCompleted, nil)
 		}
 	}
 	if errTiles > 0 {

@@ -175,6 +175,11 @@ type Session struct {
 	// degraded records that the admission ladder replaced the content
 	// -aware re-tiler with the uniform fallback grid for this session.
 	degraded bool
+	// rateHalved records the admission ladder's frame-rate rung: the
+	// server serves the session every other GOP round (it sits out the
+	// round after each GOP it encodes), halving its delivered frame rate
+	// so a heavily-overloaded platform keeps it connected.
+	rateHalved bool
 
 	frame int // next frame to encode
 
@@ -278,6 +283,18 @@ func (s *Session) effectiveQP(qp int) int {
 // Degraded reports whether the admission ladder has replaced the content
 // -aware re-tiler for this session.
 func (s *Session) Degraded() bool { return s.degraded }
+
+// HalveRate applies the admission ladder's frame-rate rung: from now on
+// the server serves this session every other GOP round, so it receives
+// half the service frame rate instead of starving in the queue. The
+// session's encoded output is unaffected — only the serving cadence
+// changes — so the degradation is reversible in principle, but like the
+// other ladder rungs this implementation never un-degrades.
+func (s *Session) HalveRate() { s.rateHalved = true }
+
+// RateHalved reports whether the admission ladder has halved the
+// session's service frame rate.
+func (s *Session) RateHalved() bool { return s.rateHalved }
 
 // Degrade switches the session to the uniform fallback tiling (the
 // admission ladder's first rung, applied to newcomers when the platform

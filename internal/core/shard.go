@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/workload"
+)
+
+// Shard is the narrow serving surface a fleet dispatcher needs from one
+// platform's server: submit sessions, run the service loop, observe
+// lifecycle state and queue depth, and abort when the shard is beyond
+// repair. *Server is the canonical implementation; internal/serve builds
+// its multi-shard Fleet on this interface so tests can substitute
+// instrumented shards without a platform behind them.
+//
+// The concurrency contract mirrors Server's: Submit, Close, Load, StateOf
+// and Store are safe from any goroutine; Run must be the only serving
+// goroutine; Abort must not overlap a Run.
+type Shard interface {
+	// Submit enqueues a session for service (see Server.Submit).
+	Submit(src FrameSource, cfg SessionConfig) (*Session, error)
+	// Close closes the arrival queue; Run returns once the submitted
+	// sessions reach terminal states.
+	Close()
+	// Run drives the online service loop until closed-and-drained,
+	// cancellation, or a round-level error.
+	Run(ctx context.Context) (*ServiceReport, error)
+	// Load reports how many submitted sessions are not yet terminal.
+	Load() int
+	// StateOf reports the lifecycle state of a session by id.
+	StateOf(id int) (SessionState, bool)
+	// Store exposes the shard's per-class workload LUT store.
+	Store() *workload.Store
+	// Abort fails every non-terminal session (dispatcher give-up).
+	Abort(err error) ([]int, error)
+}
+
+var _ Shard = (*Server)(nil)

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// allocatorFor maps a pipeline mode to its stage-D2 policy through the
+// sched registry — the single place the experiments resolve mode →
+// allocator, replacing the per-experiment switches that used to wire the
+// functions by pointer.
+func allocatorFor(mode core.Mode) core.AllocatorFunc {
+	name := sched.NameContentAware
+	if mode == core.ModeBaseline {
+		name = sched.NameBaseline
+	}
+	fn, ok := sched.Lookup(name)
+	if !ok {
+		// The built-ins are registered at init; a miss is a programming
+		// error caught by every experiment test immediately.
+		panic("experiments: built-in allocator " + name + " not registered")
+	}
+	return core.AllocatorFunc(fn)
+}

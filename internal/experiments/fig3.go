@@ -136,13 +136,7 @@ func RunFig3(opt Fig3Options) (*Fig3Result, error) {
 			threads = append(threads, sched.Thread{User: 0, Tile: i, TimeFmax: cpu})
 		}
 		in := sched.Input{Platform: platform, FPS: 24, Users: []sched.UserDemand{{User: 0, Threads: threads}}}
-		var alloc *sched.Result
-		var err error
-		if mode == core.ModeBaseline {
-			alloc, err = sched.AllocateBaseline(in)
-		} else {
-			alloc, err = sched.AllocateContentAware(in)
-		}
+		alloc, err := allocatorFor(mode)(in)
 		if err != nil {
 			return side, err
 		}

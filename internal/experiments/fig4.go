@@ -124,11 +124,11 @@ func RunFig4(opt Fig4Options) (*Fig4Result, error) {
 	res := &Fig4Result{TimeScale: timeScale, BaselineTiles: baselineTiles}
 	var sum float64
 	for _, n := range Fig4UserCounts {
-		prop, err := sched.AllocateContentAware(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n, propDemand)})
+		prop, err := allocatorFor(core.ModeProposed)(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n, propDemand)})
 		if err != nil {
 			return nil, err
 		}
-		base, err := sched.AllocateBaseline(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n, baseDemand)})
+		base, err := allocatorFor(core.ModeBaseline)(sched.Input{Platform: platform, FPS: 24, Users: mkUsers(n, baseDemand)})
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpsoc"
-	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -141,12 +140,12 @@ func RunTable2(opt Table2Options) (*Table2Result, error) {
 	}
 	res := &Table2Result{TimeScale: timeScale, BaselineTiles: baselineTiles}
 
-	run := func(mode core.Mode, alloc core.AllocatorFunc, name string) (Table2Side, error) {
+	run := func(mode core.Mode, name string) (Table2Side, error) {
 		side := Table2Side{Name: name}
 		srv, err := core.NewServer(core.ServerConfig{
 			Platform:  mpsoc.XeonE5_2667V4(),
 			FPS:       24,
-			Allocator: alloc,
+			Allocator: allocatorFor(mode),
 			TimeScale: timeScale,
 		})
 		if err != nil {
@@ -217,10 +216,10 @@ func RunTable2(opt Table2Options) (*Table2Result, error) {
 		return side, nil
 	}
 
-	if res.Proposed, err = run(core.ModeProposed, sched.AllocateContentAware, "Proposed"); err != nil {
+	if res.Proposed, err = run(core.ModeProposed, "Proposed"); err != nil {
 		return nil, err
 	}
-	if res.Baseline, err = run(core.ModeBaseline, sched.AllocateBaseline, "Work [19]"); err != nil {
+	if res.Baseline, err = run(core.ModeBaseline, "Work [19]"); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// The fleet routes a session to a shard by consistent-hashing its
+// workload class: all sessions of one class land on one shard, so that
+// shard's per-class LUT sees every observation of the class and stays
+// warm, and growing or shrinking the fleet remaps only the classes whose
+// arc the new shard takes over — the other shards' LUTs keep their heat.
+//
+// The ring is the classic construction: every shard contributes
+// ringReplicas virtual points hashed from "shard/<index>/<replica>", a
+// key hashes to a point on the circle, and its home shard is the owner of
+// the first virtual point at or after it (wrapping around).
+
+// ringReplicas is the number of virtual points per shard. 64 keeps the
+// per-shard arc share within a few percent of uniform for small fleets
+// while the ring stays tiny (shards × 64 points).
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+type hashRing struct {
+	points []ringPoint
+}
+
+// newHashRing builds the ring for shards 0..n-1.
+func newHashRing(n, replicas int) *hashRing {
+	if replicas <= 0 {
+		replicas = ringReplicas
+	}
+	r := &hashRing{points: make([]ringPoint, 0, n*replicas)}
+	for shard := 0; shard < n; shard++ {
+		for rep := 0; rep < replicas; rep++ {
+			h := hash64(fmt.Sprintf("shard/%d/%d", shard, rep))
+			r.points = append(r.points, ringPoint{hash: h, shard: shard})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between two virtual points is all but
+		// impossible; break it deterministically anyway.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// shardFor maps a key to its home shard.
+func (r *hashRing) shardFor(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a over the string, finished with a splitmix64-style
+// avalanche: raw FNV of near-identical short strings ("shard/3/0",
+// "shard/3/1", ...) clusters on the ring badly enough to starve whole
+// shards; the finalizer spreads the virtual points uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic: the same fleet size always yields the same
+// routing — serving decisions must be reproducible.
+func TestRingDeterministic(t *testing.T) {
+	a, b := newHashRing(5, 0), newHashRing(5, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("class-%d", i)
+		if a.shardFor(key) != b.shardFor(key) {
+			t.Fatalf("key %q routed differently by identical rings", key)
+		}
+	}
+}
+
+// TestRingStabilityUnderShardCountChange is the consistent-hashing
+// property the LUTs depend on: growing the fleet from n to n+1 shards
+// moves a key only if it moves to the new shard — every other key keeps
+// its home, so warmed per-class LUTs stay warm through a resize — and
+// the moved fraction stays near the ideal 1/(n+1).
+func TestRingStabilityUnderShardCountChange(t *testing.T) {
+	const keys = 1000
+	for _, n := range []int{2, 3, 5, 8} {
+		old := newHashRing(n, 0)
+		grown := newHashRing(n+1, 0)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("class-%d", i)
+			was, now := old.shardFor(key), grown.shardFor(key)
+			if was == now {
+				continue
+			}
+			moved++
+			if now != n {
+				t.Fatalf("%d→%d shards: key %q moved %d→%d, not to the new shard %d",
+					n, n+1, key, was, now, n)
+			}
+		}
+		ideal := float64(keys) / float64(n+1)
+		if f := float64(moved); f > 2.5*ideal {
+			t.Fatalf("%d→%d shards: %d of %d keys moved (ideal ≈ %.0f)", n, n+1, moved, keys, ideal)
+		}
+		if moved == 0 {
+			t.Fatalf("%d→%d shards: no key moved — the new shard gets no traffic", n, n+1)
+		}
+	}
+}
+
+// TestRingBalance: virtual points keep the per-shard key share within a
+// sane factor of uniform.
+func TestRingBalance(t *testing.T) {
+	const keys = 3000
+	const shards = 4
+	r := newHashRing(shards, 0)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.shardFor(fmt.Sprintf("class-%d", i))]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", s, counts)
+		}
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("shard %d share %.2f far from uniform 0.25: %v", s, share, counts)
+		}
+	}
+}

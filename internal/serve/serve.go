@@ -1,0 +1,672 @@
+// Package serve is the multi-platform front door of the transcoding
+// service: a Fleet builds one core.Server shard per MPSoC platform,
+// routes arriving sessions across them by consistent-hashing the
+// session's workload class (so each shard's per-class LUTs stay warm)
+// with a least-loaded fallback, supervises every shard's serving loop —
+// restarting a shard whose loop fails without disturbing the others —
+// and streams telemetry to a pluggable Sink instead of accumulating a
+// grow-forever report. The paper's scheduler manages one MPSoC; the
+// Fleet is the layer that turns many of them into one service
+// (DESIGN.md §8).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mpsoc"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// options collects the functional-option state.
+type options struct {
+	shards    int
+	platforms []*mpsoc.Platform
+	platform  *mpsoc.Platform
+	fps       float64
+
+	registry       *sched.Registry
+	allocator      string
+	shardAllocator map[int]string
+
+	admission   core.AdmissionConfig
+	calibration core.CalibrationConfig
+	timeScale   float64
+
+	sink      Sink
+	roundHook func(shard int, out *core.GOPOutcome)
+
+	lutPath string
+
+	capacity    int
+	maxRestarts int
+	replicas    int
+
+	errs []error
+}
+
+// Option configures a Fleet.
+type Option func(*options)
+
+// WithShards sets the number of shards (default 1), each backed by a
+// copy of the fleet's platform. Overridden by WithPlatforms.
+func WithShards(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.errs = append(o.errs, fmt.Errorf("serve: %d shards", n))
+			return
+		}
+		o.shards = n
+	}
+}
+
+// WithPlatform sets the platform prototype every shard runs on (default
+// the paper's Xeon E5-2667v4). Each shard gets its own copy.
+func WithPlatform(p *mpsoc.Platform) Option {
+	return func(o *options) {
+		if p == nil {
+			o.errs = append(o.errs, errors.New("serve: nil platform"))
+			return
+		}
+		o.platform = p
+	}
+}
+
+// WithPlatforms gives every shard its own platform — a heterogeneous
+// fleet. The slice length defines the shard count.
+func WithPlatforms(ps ...*mpsoc.Platform) Option {
+	return func(o *options) {
+		if len(ps) == 0 {
+			o.errs = append(o.errs, errors.New("serve: WithPlatforms with no platforms"))
+			return
+		}
+		for i, p := range ps {
+			if p == nil {
+				o.errs = append(o.errs, fmt.Errorf("serve: nil platform for shard %d", i))
+				return
+			}
+		}
+		o.platforms = ps
+	}
+}
+
+// WithFPS sets the service frame rate (default 24).
+func WithFPS(fps float64) Option {
+	return func(o *options) { o.fps = fps }
+}
+
+// WithAllocator selects the stage-D2 policy by registry name for every
+// shard (default sched.NameContentAware).
+func WithAllocator(name string) Option {
+	return func(o *options) { o.allocator = name }
+}
+
+// WithShardAllocator overrides the allocator for one shard — a
+// heterogeneous fleet can run the baseline policy on one platform and
+// Algorithm 2 on the rest, or tests can install a failing policy.
+func WithShardAllocator(shard int, name string) Option {
+	return func(o *options) {
+		if o.shardAllocator == nil {
+			o.shardAllocator = make(map[int]string)
+		}
+		o.shardAllocator[shard] = name
+	}
+}
+
+// WithRegistry resolves allocator names against r instead of
+// sched.Default.
+func WithRegistry(r *sched.Registry) Option {
+	return func(o *options) {
+		if r == nil {
+			o.errs = append(o.errs, errors.New("serve: nil registry"))
+			return
+		}
+		o.registry = r
+	}
+}
+
+// WithAdmission enables/configures the overload admission ladder on
+// every shard.
+func WithAdmission(cfg core.AdmissionConfig) Option {
+	return func(o *options) { o.admission = cfg }
+}
+
+// WithCalibration enables/configures measurement-calibrated estimation
+// on every shard.
+func WithCalibration(cfg core.CalibrationConfig) Option {
+	return func(o *options) { o.calibration = cfg }
+}
+
+// WithTimeScale sets the host-to-platform time calibration factor (see
+// core.ServerConfig.TimeScale).
+func WithTimeScale(scale float64) Option {
+	return func(o *options) { o.timeScale = scale }
+}
+
+// WithSink streams the fleet's telemetry to s (see Sink for the delivery
+// contract). Without a sink the fleet still aggregates per-shard
+// ServiceReports into its Run result.
+func WithSink(s Sink) Option {
+	return func(o *options) { o.sink = s }
+}
+
+// WithRoundHook invokes fn after every settled shard round (after the
+// sink saw the round's events), from that shard's serving goroutine. The
+// hook may Submit sessions or Close the fleet — it is how churn-driven
+// callers feed arrivals — but must not call serving methods.
+func WithRoundHook(fn func(shard int, out *core.GOPOutcome)) Option {
+	return func(o *options) { o.roundHook = fn }
+}
+
+// WithLUTStore persists the fleet's workload LUTs at path: if the file
+// exists its store seeds every shard (a restarted fleet estimates from
+// warm state), and a clean Run saves the merged shard stores back
+// atomically. A missing file is not an error — the first run starts cold
+// and creates it.
+func WithLUTStore(path string) Option {
+	return func(o *options) { o.lutPath = path }
+}
+
+// WithShardCapacity bounds each shard's live-session count for routing:
+// a session whose home shard already holds n live sessions is routed to
+// the least-loaded shard instead (0 = unbounded, the default — routing
+// falls back only when a shard refuses the submission outright).
+func WithShardCapacity(n int) Option {
+	return func(o *options) { o.capacity = n }
+}
+
+// WithMaxRestarts bounds how many times Run restarts one shard's failed
+// serving loop before giving the shard up and failing its sessions
+// (default 1).
+func WithMaxRestarts(n int) Option {
+	return func(o *options) { o.maxRestarts = n }
+}
+
+// Fleet is the multi-shard serving front door. Build with New, feed with
+// Submit, drive with Run, stop with Close (drain) or context
+// cancellation (abort).
+//
+// Concurrency: Submit, Close, Load, HomeShard and SaveLUTs are safe from
+// any goroutine; Run must be called once at a time.
+type Fleet struct {
+	opts   options
+	ring   *hashRing
+	shards []*shardState
+
+	// sinkMu serializes sink delivery fleet-wide (the Sink contract).
+	sinkMu sync.Mutex
+
+	mu      sync.Mutex
+	running bool
+	closed  bool
+}
+
+// shardState tracks one shard through the fleet's lifetime.
+type shardState struct {
+	index int
+	srv   core.Shard
+	// dead is set (under Fleet.mu) when the supervisor gave up on the
+	// shard; routing skips dead shards.
+	dead bool
+}
+
+// New validates the options and builds the fleet's shards.
+func New(opts ...Option) (*Fleet, error) {
+	o := options{
+		shards:      1,
+		fps:         24,
+		allocator:   sched.NameContentAware,
+		registry:    sched.Default,
+		maxRestarts: 1,
+		replicas:    ringReplicas,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if len(o.errs) > 0 {
+		return nil, errors.Join(o.errs...)
+	}
+	platforms := o.platforms
+	if platforms == nil {
+		proto := o.platform
+		if proto == nil {
+			proto = mpsoc.XeonE5_2667V4()
+		}
+		platforms = make([]*mpsoc.Platform, o.shards)
+		for i := range platforms {
+			platforms[i] = clonePlatform(proto)
+		}
+	}
+	n := len(platforms)
+	for shard := range o.shardAllocator {
+		if shard < 0 || shard >= n {
+			return nil, fmt.Errorf("serve: allocator override for shard %d of %d", shard, n)
+		}
+	}
+
+	// A persisted LUT store seeds every shard with its own deep copy —
+	// shards must not share mutable estimation state, or cross-shard lock
+	// contention and nondeterministic calibration order would leak in.
+	var seed *workload.Store
+	if o.lutPath != "" {
+		f, err := os.Open(o.lutPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run: start cold, Save creates the file.
+		case err != nil:
+			return nil, fmt.Errorf("serve: open LUT store: %w", err)
+		default:
+			seed, err = workload.LoadStore(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	f := &Fleet{opts: o, ring: newHashRing(n, o.replicas)}
+	for i := 0; i < n; i++ {
+		name := o.allocator
+		if over, ok := o.shardAllocator[i]; ok {
+			name = over
+		}
+		alloc, err := o.registry.MustLookup(name)
+		if err != nil {
+			return nil, err
+		}
+		var store *workload.Store
+		if seed != nil {
+			store = seed.Clone()
+		}
+		shard := &shardState{index: i}
+		srv, err := core.NewServer(core.ServerConfig{
+			Platform:    platforms[i],
+			FPS:         o.fps,
+			Allocator:   core.AllocatorFunc(alloc),
+			TimeScale:   o.timeScale,
+			Calibration: o.calibration,
+			Admission:   o.admission,
+			Store:       store,
+			OnRound: func(out *core.GOPOutcome) {
+				f.dispatchRound(shard.index, out)
+				if o.roundHook != nil {
+					o.roundHook(shard.index, out)
+				}
+			},
+			OnSessionState: func(id int, state core.SessionState, err error) {
+				f.dispatchState(shard.index, id, state, err)
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		shard.srv = srv
+		f.shards = append(f.shards, shard)
+	}
+	return f, nil
+}
+
+// clonePlatform copies a platform so shards never share mutable state.
+func clonePlatform(p *mpsoc.Platform) *mpsoc.Platform {
+	cp := *p
+	cp.Levels = append([]mpsoc.FreqLevel(nil), p.Levels...)
+	return &cp
+}
+
+// Shards returns the number of shards.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// HomeShard returns the shard the consistent-hash ring assigns a
+// workload class to (before load-based fallback).
+func (f *Fleet) HomeShard(class string) int { return f.ring.shardFor(class) }
+
+// Placement identifies where a submitted session landed.
+type Placement struct {
+	// Shard is the index of the shard serving the session.
+	Shard int
+	// Session is the shard-local session (ids are shard-local too).
+	Session *core.Session
+}
+
+// Submit routes a session to its class's home shard, falling back to the
+// least-loaded shard when the home shard is saturated (WithShardCapacity),
+// dead, or refuses the submission. Safe from any goroutine, including
+// round hooks — but not from Sink methods, which run under the sink
+// dispatch lock that Submit's own state notification needs (see the Sink
+// contract). Fails when every shard refuses.
+func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement, error) {
+	if src == nil {
+		return Placement{}, errors.New("serve: nil frame source")
+	}
+	var lastErr error
+	for _, si := range f.routeOrder(f.ring.shardFor(src.Class())) {
+		sess, err := f.shards[si].srv.Submit(src, cfg)
+		if err == nil {
+			return Placement{Shard: si, Session: sess}, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("serve: no live shard")
+	}
+	return Placement{}, fmt.Errorf("serve: submit: %w", lastErr)
+}
+
+// routeOrder returns the shard indices to try: the home shard first —
+// unless it is dead or at capacity — then the remaining live shards in
+// ascending (load, index) order.
+func (f *Fleet) routeOrder(home int) []int {
+	type cand struct {
+		index int
+		load  int
+	}
+	f.mu.Lock()
+	dead := make([]bool, len(f.shards))
+	for i, s := range f.shards {
+		dead[i] = s.dead
+	}
+	f.mu.Unlock()
+
+	var rest []cand
+	order := make([]int, 0, len(f.shards))
+	homeOK := !dead[home] && (f.opts.capacity <= 0 || f.shards[home].srv.Load() < f.opts.capacity)
+	if homeOK {
+		order = append(order, home)
+	}
+	for i, s := range f.shards {
+		if i == home && homeOK {
+			continue
+		}
+		if dead[i] {
+			continue
+		}
+		rest = append(rest, cand{index: i, load: s.srv.Load()})
+	}
+	sort.Slice(rest, func(a, b int) bool {
+		if rest[a].load != rest[b].load {
+			return rest[a].load < rest[b].load
+		}
+		return rest[a].index < rest[b].index
+	})
+	for _, c := range rest {
+		order = append(order, c.index)
+	}
+	return order
+}
+
+// Close closes every shard's arrival queue: no further Submit succeeds
+// and Run returns once the submitted sessions drain. Safe to call from
+// any goroutine, more than once.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	for _, s := range f.shards {
+		s.srv.Close()
+	}
+}
+
+// ShardReport is one shard's outcome of a fleet Run.
+type ShardReport struct {
+	Shard int
+	// Report merges the shard's service reports across restarts: counters
+	// and outcomes accumulate; the terminal-state lists are the final
+	// snapshot.
+	Report *core.ServiceReport
+	// Restarts counts serving-loop restarts the supervisor performed.
+	Restarts int
+	// Err is the terminal serving error of a shard that was given up (nil
+	// for a clean drain or cancellation).
+	Err error
+	// Aborted lists the sessions failed by the give-up (ascending).
+	Aborted []int
+}
+
+// Report aggregates a fleet Run.
+type Report struct {
+	Shards []ShardReport
+	// Fleet-wide aggregates over all shards.
+	Rounds        int
+	Submitted     int
+	Completed     int
+	Rejected      int
+	Failed        int
+	FramesEncoded int
+	GOPReports    int
+	Energy        mpsoc.Totals
+}
+
+// Run supervises every shard's serving loop until all drain (after
+// Close), the context is cancelled, or the shards die. A shard whose
+// loop returns an error is restarted in place — its sessions and LUTs
+// survive, the other shards never notice — up to WithMaxRestarts times;
+// past that the shard is given up: its queue closes, its unserved
+// sessions fail (the sink sees each failure), and the rest of the fleet
+// keeps serving. Run returns the aggregated report with ctx.Err() after
+// cancellation, an error when every shard died, and nil otherwise (check
+// ShardReport.Err for partial failures). With WithLUTStore, a Run that
+// ends without cancellation saves the merged LUT store.
+func (f *Fleet) Run(ctx context.Context) (*Report, error) {
+	f.mu.Lock()
+	if f.running {
+		f.mu.Unlock()
+		return nil, errors.New("serve: Run already active")
+	}
+	f.running = true
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.running = false
+		f.mu.Unlock()
+	}()
+
+	reports := make([]ShardReport, len(f.shards))
+	var wg sync.WaitGroup
+	for _, s := range f.shards {
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			reports[s.index] = f.supervise(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+
+	rep := &Report{Shards: reports}
+	deadShards := 0
+	for _, sr := range reports {
+		if sr.Err != nil {
+			deadShards++
+		}
+		if sr.Report == nil {
+			continue
+		}
+		rep.Rounds += sr.Report.Rounds
+		rep.Submitted += sr.Report.Submitted
+		rep.Completed += len(sr.Report.Completed)
+		rep.Rejected += len(sr.Report.Rejected)
+		rep.Failed += len(sr.Report.Failed)
+		rep.FramesEncoded += sr.Report.FramesEncoded
+		rep.GOPReports += sr.Report.GOPReports
+		addTotals(&rep.Energy, sr.Report.Energy)
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if f.opts.lutPath != "" {
+		if err := f.SaveLUTs(); err != nil {
+			return rep, err
+		}
+	}
+	if deadShards == len(f.shards) && len(f.shards) > 0 {
+		return rep, fmt.Errorf("serve: all %d shards failed, first: %w", deadShards, reports[0].Err)
+	}
+	return rep, nil
+}
+
+// supervise drives one shard's serving loop with restart-on-error.
+func (f *Fleet) supervise(ctx context.Context, s *shardState) ShardReport {
+	sr := ShardReport{Shard: s.index}
+	for {
+		rep, err := s.srv.Run(ctx)
+		mergeServiceReport(&sr, rep)
+		switch {
+		case err == nil:
+			return sr
+		case ctx.Err() != nil:
+			// Cancellation is fleet-wide, not a shard fault.
+			return sr
+		case sr.Restarts < f.opts.maxRestarts:
+			sr.Restarts++
+		default:
+			// Give the shard up: stop accepting arrivals, fail what
+			// cannot be served, let the rest of the fleet carry on.
+			f.mu.Lock()
+			s.dead = true
+			f.mu.Unlock()
+			s.srv.Close()
+			sr.Err = fmt.Errorf("serve: shard %d gave up after %d restarts: %w", s.index, sr.Restarts, err)
+			if ids, aerr := s.srv.Abort(sr.Err); aerr == nil {
+				sr.Aborted = ids
+			}
+			// The abort flipped queued sessions to failed after the last
+			// report snapshot; refresh the terminal lists from the live
+			// states so the shard report tells the truth.
+			refreshStates(&sr, s.srv)
+			return sr
+		}
+	}
+}
+
+// mergeServiceReport folds one Run's report into the shard report:
+// counters and outcomes accumulate across restarts, the terminal-state
+// snapshot is replaced by the newer one.
+func mergeServiceReport(sr *ShardReport, rep *core.ServiceReport) {
+	if rep == nil {
+		return
+	}
+	if sr.Report == nil {
+		sr.Report = rep
+		return
+	}
+	dst := sr.Report
+	dst.Rounds += rep.Rounds
+	dst.FramesEncoded += rep.FramesEncoded
+	dst.GOPReports += rep.GOPReports
+	dst.Outcomes = append(dst.Outcomes, rep.Outcomes...)
+	addTotals(&dst.Energy, rep.Energy)
+	dst.Submitted = rep.Submitted
+	dst.Completed = rep.Completed
+	dst.Rejected = rep.Rejected
+	dst.Failed = rep.Failed
+	dst.Errors = rep.Errors
+}
+
+// refreshStates re-derives the terminal-state lists from the shard's
+// live session states (after an Abort).
+func refreshStates(sr *ShardReport, srv core.Shard) {
+	if sr.Report == nil {
+		sr.Report = &core.ServiceReport{}
+	}
+	rep := sr.Report
+	rep.Completed, rep.Rejected, rep.Failed = nil, nil, nil
+	for id := 0; ; id++ {
+		st, ok := srv.StateOf(id)
+		if !ok {
+			break
+		}
+		switch st {
+		case core.StateCompleted:
+			rep.Completed = append(rep.Completed, id)
+		case core.StateRejected:
+			rep.Rejected = append(rep.Rejected, id)
+		case core.StateFailed:
+			rep.Failed = append(rep.Failed, id)
+		}
+	}
+}
+
+// addTotals folds one mpsoc.Totals into another.
+func addTotals(dst *mpsoc.Totals, src mpsoc.Totals) {
+	dst.Slots += src.Slots
+	dst.Time += src.Time
+	dst.EnergyJ += src.EnergyJ
+	if src.PeakPowerW > dst.PeakPowerW {
+		dst.PeakPowerW = src.PeakPowerW
+	}
+	dst.DeadlineMisses += src.DeadlineMisses
+	dst.CarryOver += src.CarryOver
+}
+
+// SaveLUTs merges every shard's workload store and writes it atomically
+// to the WithLUTStore path. Without a configured path it is a no-op.
+func (f *Fleet) SaveLUTs() error {
+	if f.opts.lutPath == "" {
+		return nil
+	}
+	merged := workload.NewStore()
+	for _, s := range f.shards {
+		merged.Merge(s.srv.Store())
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(f.opts.lutPath), ".luts-*")
+	if err != nil {
+		return fmt.Errorf("serve: save LUT store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := merged.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: save LUT store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: save LUT store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), f.opts.lutPath); err != nil {
+		return fmt.Errorf("serve: save LUT store: %w", err)
+	}
+	return nil
+}
+
+// Load reports the fleet-wide live-session count (the sum of the shards'
+// queue depths).
+func (f *Fleet) Load() int {
+	n := 0
+	for _, s := range f.shards {
+		n += s.srv.Load()
+	}
+	return n
+}
+
+// dispatchState delivers a session lifecycle event to the sink.
+func (f *Fleet) dispatchState(shard, id int, state core.SessionState, err error) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	f.opts.sink.OnSessionStateChange(SessionEvent{Shard: shard, Session: id, State: state, Err: err})
+}
+
+// dispatchRound delivers a settled round to the sink: per-session GOPs
+// in ascending id, then the round metrics.
+func (f *Fleet) dispatchRound(shard int, out *core.GOPOutcome) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	ids := make([]int, 0, len(out.GOPs))
+	for id := range out.GOPs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f.opts.sink.OnGOP(GOPEvent{Shard: shard, Session: id, Round: out.Round, GOP: out.GOPs[id]})
+	}
+	f.opts.sink.OnRoundMetrics(RoundEvent{Shard: shard, Outcome: out})
+}

@@ -1,0 +1,604 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/medgen"
+	"repro/internal/mpsoc"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// testSource renders a deterministic synthetic study under an arbitrary
+// workload-class name (the routing key).
+func testSource(t testing.TB, class string, seed int64, frames int) core.FrameSource {
+	t.Helper()
+	cfg := medgen.Default()
+	cfg.Width, cfg.Height = 256, 192
+	cfg.Class = medgen.Class(int(seed) % medgen.NumClasses)
+	cfg.Motion = []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}[int(seed)%4]
+	cfg.Frames = frames
+	cfg.Seed = seed
+	g, err := medgen.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := core.SourceFromGenerator(g, frames, cfg.FPS, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// testSessionConfig shrinks geometry-dependent parameters for 256×192.
+func testSessionConfig() core.SessionConfig {
+	cfg := core.DefaultSessionConfig()
+	cfg.Codec.GOPSize = 4
+	cfg.Codec.IntraPeriod = 8
+	cfg.Retile.MinTileW, cfg.Retile.MinTileH = 48, 48
+	return cfg
+}
+
+// classesPerShard finds one class name homed on every shard of an
+// n-shard fleet.
+func classesPerShard(t *testing.T, f *Fleet) []string {
+	t.Helper()
+	out := make([]string, f.Shards())
+	found := 0
+	for i := 0; found < f.Shards() && i < 10000; i++ {
+		class := fmt.Sprintf("class-%d", i)
+		home := f.HomeShard(class)
+		if out[home] == "" {
+			out[home] = class
+			found++
+		}
+	}
+	if found != f.Shards() {
+		t.Fatalf("could not find a class for every shard: %v", out)
+	}
+	return out
+}
+
+// TestFleetRoutesByClassAndCompletes: sessions land on their class's home
+// shard, every shard serves, and the fleet drains cleanly.
+func TestFleetRoutesByClassAndCompletes(t *testing.T) {
+	f, err := New(WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := classesPerShard(t, f)
+	perShard := make([]int, 3)
+	for i, class := range classes {
+		for j := 0; j < 2; j++ {
+			p, err := f.Submit(testSource(t, class, int64(i*10+j+1), 8), testSessionConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Shard != i {
+				t.Fatalf("class %q routed to shard %d, home is %d", class, p.Shard, i)
+			}
+			perShard[p.Shard]++
+		}
+	}
+	f.Close()
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted != 6 || rep.Completed != 6 || rep.Failed != 0 || rep.Rejected != 0 {
+		t.Fatalf("fleet report %+v, want 6 completed", rep)
+	}
+	// Zero lost GOP reports: 6 sessions × 8 frames in GOPs of 4.
+	if rep.GOPReports != 6*2 || rep.FramesEncoded != 6*8 {
+		t.Fatalf("GOP reports %d frames %d, want 12 and 48", rep.GOPReports, rep.FramesEncoded)
+	}
+	for i, sr := range rep.Shards {
+		if sr.Err != nil || sr.Restarts != 0 {
+			t.Fatalf("shard %d: err %v restarts %d", i, sr.Err, sr.Restarts)
+		}
+		if len(sr.Report.Completed) != perShard[i] {
+			t.Fatalf("shard %d completed %v, want %d sessions", i, sr.Report.Completed, perShard[i])
+		}
+	}
+}
+
+// TestLeastLoadedFallback: a saturated home shard routes the overflow to
+// the least-loaded shard instead of queueing behind its own class.
+func TestLeastLoadedFallback(t *testing.T) {
+	f, err := New(WithShards(3), WithShardCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := classesPerShard(t, f)
+	class := classes[0]
+	// Pre-load shard 2 so the fallback has a load gradient to follow.
+	if _, err := f.Submit(testSource(t, classes[2], 77, 8), testSessionConfig()); err != nil {
+		t.Fatal(err)
+	}
+	first, err := f.Submit(testSource(t, class, 1, 8), testSessionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Shard != 0 {
+		t.Fatalf("first session of class %q on shard %d, want home 0", class, first.Shard)
+	}
+	// Home shard 0 is at capacity; shard 1 is empty, shard 2 holds one.
+	second, err := f.Submit(testSource(t, class, 2, 8), testSessionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Shard != 1 {
+		t.Fatalf("overflow session on shard %d, want least-loaded 1", second.Shard)
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetSubmitRefusedEverywhere: a closed fleet refuses submissions
+// with the shard's error surfaced.
+func TestFleetSubmitRefusedEverywhere(t *testing.T) {
+	f, err := New(WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Submit(testSource(t, "any", 1, 4), testSessionConfig()); err == nil {
+		t.Fatal("Submit succeeded on a closed fleet")
+	}
+}
+
+// recordingSink captures every event for assertions.
+type recordingSink struct {
+	gops   []GOPEvent
+	states []SessionEvent
+	rounds []RoundEvent
+}
+
+func (r *recordingSink) OnGOP(e GOPEvent)                    { r.gops = append(r.gops, e) }
+func (r *recordingSink) OnSessionStateChange(e SessionEvent) { r.states = append(r.states, e) }
+func (r *recordingSink) OnRoundMetrics(e RoundEvent)         { r.rounds = append(r.rounds, e) }
+
+// TestShardCrashIsolation is the kill-one-shard acceptance criterion: a
+// shard whose serving loop dies for good takes only its own sessions
+// down; the remaining shards finish all of theirs with zero lost GOP
+// reports, and the sink sees the dead shard's failures.
+func TestShardCrashIsolation(t *testing.T) {
+	reg := sched.NewRegistry()
+	if err := reg.Register(sched.NameContentAware, "", sched.AllocateContentAware); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("allocator exploded")
+	if err := reg.Register("crash", "always fails", func(sched.Input) (*sched.Result, error) {
+		return nil, boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	f, err := New(
+		WithShards(3),
+		WithRegistry(reg),
+		WithShardAllocator(1, "crash"),
+		WithMaxRestarts(0),
+		WithSink(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := classesPerShard(t, f)
+	perShard := make([]int, 3)
+	for i, class := range classes {
+		for j := 0; j < 2; j++ {
+			p, err := f.Submit(testSource(t, class, int64(i*10+j+1), 8), testSessionConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			perShard[p.Shard]++
+		}
+	}
+	f.Close()
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The dead shard: gave up, sessions aborted as failed.
+	dead := rep.Shards[1]
+	if dead.Err == nil || !errors.Is(dead.Err, boom) {
+		t.Fatalf("dead shard error %v, want the allocator failure", dead.Err)
+	}
+	if len(dead.Aborted) != perShard[1] || len(dead.Report.Failed) != perShard[1] {
+		t.Fatalf("dead shard aborted %v failed %v, want %d sessions", dead.Aborted, dead.Report.Failed, perShard[1])
+	}
+
+	// The survivors: every session completed, zero lost GOP reports.
+	for _, si := range []int{0, 2} {
+		sr := rep.Shards[si]
+		if sr.Err != nil {
+			t.Fatalf("surviving shard %d reported error %v", si, sr.Err)
+		}
+		if len(sr.Report.Completed) != perShard[si] || len(sr.Report.Failed) != 0 {
+			t.Fatalf("surviving shard %d completed %v failed %v", si, sr.Report.Completed, sr.Report.Failed)
+		}
+		if sr.Report.GOPReports != perShard[si]*2 || sr.Report.FramesEncoded != perShard[si]*8 {
+			t.Fatalf("surviving shard %d lost GOP reports: %d reports, %d frames",
+				si, sr.Report.GOPReports, sr.Report.FramesEncoded)
+		}
+	}
+
+	// The sink saw the dead shard's failures, with the cause attached.
+	failures := map[int]int{}
+	for _, e := range sink.states {
+		if e.State == core.StateFailed {
+			failures[e.Shard]++
+			if !errors.Is(e.Err, boom) {
+				t.Fatalf("failure event without the cause: %+v", e)
+			}
+		}
+	}
+	if failures[1] != perShard[1] || failures[0] != 0 || failures[2] != 0 {
+		t.Fatalf("sink failure events per shard: %v, want only shard 1's %d", failures, perShard[1])
+	}
+	// And the survivors' GOPs all streamed through.
+	gops := map[int]int{}
+	for _, e := range sink.gops {
+		gops[e.Shard]++
+	}
+	if gops[0] != perShard[0]*2 || gops[2] != perShard[2]*2 || gops[1] != 0 {
+		t.Fatalf("sink GOP events per shard: %v", gops)
+	}
+}
+
+// TestShardRestartRecovers: a transient serving-loop failure is healed in
+// place — the shard restarts, its sessions survive and complete.
+func TestShardRestartRecovers(t *testing.T) {
+	reg := sched.NewRegistry()
+	var failures atomic.Int32
+	if err := reg.Register("flaky", "fails once", func(in sched.Input) (*sched.Result, error) {
+		if failures.CompareAndSwap(0, 1) {
+			return nil, errors.New("transient allocator failure")
+		}
+		return sched.AllocateContentAware(in)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(WithShards(1), WithRegistry(reg), WithAllocator("flaky"), WithMaxRestarts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		if _, err := f.Submit(testSource(t, "warm", int64(j+1), 8), testSessionConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.Shards[0]
+	if sr.Restarts != 1 || sr.Err != nil {
+		t.Fatalf("restarts %d err %v, want one clean restart", sr.Restarts, sr.Err)
+	}
+	if len(sr.Report.Completed) != 2 || sr.Report.GOPReports != 4 || sr.Report.FramesEncoded != 16 {
+		t.Fatalf("post-restart report %+v — sessions did not survive the restart", sr.Report)
+	}
+}
+
+// TestFleetCancellation: cancelling the context stops every shard and
+// surfaces ctx.Err.
+func TestFleetCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f, err := New(WithShards(2), WithRoundHook(func(int, *core.GOPOutcome) { cancel() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := classesPerShard(t, f)
+	for i, class := range classes {
+		if _, err := f.Submit(testSource(t, class, int64(i+1), 16), testSessionConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := f.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error %v, want context.Canceled", err)
+	}
+	for _, sr := range rep.Shards {
+		if sr.Err != nil {
+			t.Fatalf("cancellation misreported as shard %d fault: %v", sr.Shard, sr.Err)
+		}
+	}
+}
+
+// driftModel mirrors the core churn scenario's deterministic "thermal
+// drift" time model.
+func driftModel() func(codec.TileStats) time.Duration {
+	n := 0
+	return func(ts codec.TileStats) time.Duration {
+		n++
+		base := time.Duration(ts.Tile.Area()) * 40 * time.Nanosecond
+		return base + base*time.Duration(n)/25
+	}
+}
+
+// churnDirect runs the PR 2 churn acceptance scenario on a bare
+// core.Server and returns its ServiceReport — the old API's ground truth.
+func churnDirect(t *testing.T) *core.ServiceReport {
+	t.Helper()
+	var srv *core.Server
+	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
+	submitted := 0
+	submit := func() {
+		cfg := testSessionConfig()
+		cfg.TimeModel = driftModel()
+		vc := medgen.Default()
+		vc.Width, vc.Height = 256, 192
+		vc.Class = medgen.Brain
+		vc.Motion = motions[submitted]
+		vc.Frames = 16
+		vc.Seed = int64(medgen.Brain)*100 + int64(motions[submitted]) + 1
+		g, err := medgen.NewGenerator(vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := core.SourceFromGenerator(g, 16, vc.FPS, "brain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Submit(src, cfg); err != nil {
+			t.Fatal(err)
+		}
+		submitted++
+	}
+	var err error
+	srv, err = core.NewServer(core.ServerConfig{
+		Platform:    mpsoc.XeonE5_2667V4(),
+		FPS:         24,
+		Calibration: core.CalibrationConfig{Enabled: true, Alpha: 0.6},
+		OnRound: func(out *core.GOPOutcome) {
+			switch out.Round {
+			case 0:
+				submit()
+			case 1:
+				submit()
+				srv.Close()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit()
+	submit()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestRingSinkMatchesServiceReport is the redesign's compatibility
+// criterion: on the existing churn scenario, a single-shard fleet with a
+// ring-buffer sink reconstructs exactly the ServiceReport the old API
+// produced — nothing the old report could tell you is lost.
+func TestRingSinkMatchesServiceReport(t *testing.T) {
+	want := churnDirect(t)
+
+	sink := NewRingSink(64)
+	var f *Fleet
+	submitted := 0
+	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
+	submit := func() {
+		cfg := testSessionConfig()
+		cfg.TimeModel = driftModel()
+		vc := medgen.Default()
+		vc.Width, vc.Height = 256, 192
+		vc.Class = medgen.Brain
+		vc.Motion = motions[submitted]
+		vc.Frames = 16
+		vc.Seed = int64(medgen.Brain)*100 + int64(motions[submitted]) + 1
+		g, err := medgen.NewGenerator(vc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := core.SourceFromGenerator(g, 16, vc.FPS, "brain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Submit(src, cfg); err != nil {
+			t.Fatal(err)
+		}
+		submitted++
+	}
+	var err error
+	f, err = New(
+		WithShards(1),
+		WithCalibration(core.CalibrationConfig{Enabled: true, Alpha: 0.6}),
+		WithSink(sink),
+		WithRoundHook(func(_ int, out *core.GOPOutcome) {
+			switch out.Round {
+			case 0:
+				submit()
+			case 1:
+				submit()
+				f.Close()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit()
+	submit()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	got := sink.Report(0)
+	if sink.Dropped() != 0 {
+		t.Fatalf("ring dropped %d outcomes — capacity too small for the scenario", sink.Dropped())
+	}
+	if got.Rounds != want.Rounds || got.Submitted != want.Submitted {
+		t.Fatalf("rounds/submitted %d/%d, want %d/%d", got.Rounds, got.Submitted, want.Rounds, want.Submitted)
+	}
+	if fmt.Sprint(got.Completed) != fmt.Sprint(want.Completed) ||
+		fmt.Sprint(got.Rejected) != fmt.Sprint(want.Rejected) ||
+		fmt.Sprint(got.Failed) != fmt.Sprint(want.Failed) {
+		t.Fatalf("terminal states %v/%v/%v, want %v/%v/%v",
+			got.Completed, got.Rejected, got.Failed, want.Completed, want.Rejected, want.Failed)
+	}
+	if got.FramesEncoded != want.FramesEncoded || got.GOPReports != want.GOPReports {
+		t.Fatalf("frames/GOPs %d/%d, want %d/%d", got.FramesEncoded, got.GOPReports, want.FramesEncoded, want.GOPReports)
+	}
+	if got.Energy != want.Energy {
+		t.Fatalf("energy totals %+v, want %+v", got.Energy, want.Energy)
+	}
+	if len(got.Outcomes) != len(want.Outcomes) {
+		t.Fatalf("%d outcomes, want %d", len(got.Outcomes), len(want.Outcomes))
+	}
+	for r := range got.Outcomes {
+		g, w := got.Outcomes[r], want.Outcomes[r]
+		if g.Round != w.Round || g.EstimateErr != w.EstimateErr || g.EstimateTiles != w.EstimateTiles {
+			t.Fatalf("round %d metrics differ: %+v vs %+v", r, g, w)
+		}
+		for id, gop := range w.GOPs {
+			if g.GOPs[id] == nil || g.GOPs[id].Digest != gop.Digest {
+				t.Fatalf("round %d session %d bitstream differs from the old serving path", r, id)
+			}
+		}
+	}
+	ge, gt := got.MeanEstimateErr(3)
+	we, wt := want.MeanEstimateErr(3)
+	if ge != we || gt != wt {
+		t.Fatalf("MeanEstimateErr (%v,%d), want (%v,%d)", ge, gt, we, wt)
+	}
+}
+
+// TestRingSinkBounded: the ring keeps aggregates exact while trimming
+// outcome memory to its capacity.
+func TestRingSinkBounded(t *testing.T) {
+	sink := NewRingSink(2)
+	f, err := New(WithShards(1), WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(testSource(t, "c", 1, 16), testSessionConfig()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep := sink.Report(0)
+	if rep.Rounds != 4 || rep.GOPReports != 4 || rep.FramesEncoded != 16 {
+		t.Fatalf("aggregates %d/%d/%d, want 4 rounds, 4 GOPs, 16 frames", rep.Rounds, rep.GOPReports, rep.FramesEncoded)
+	}
+	if len(rep.Outcomes) != 2 || sink.Dropped() != 2 {
+		t.Fatalf("ring kept %d outcomes (dropped %d), want the last 2", len(rep.Outcomes), sink.Dropped())
+	}
+	if rep.Outcomes[0].Round != 2 || rep.Outcomes[1].Round != 3 {
+		t.Fatalf("ring outcomes are rounds %d,%d — want the most recent 2,3",
+			rep.Outcomes[0].Round, rep.Outcomes[1].Round)
+	}
+}
+
+// TestFleetLUTPersistence: a fleet with WithLUTStore saves its merged
+// warm LUTs on a clean run, and a new fleet at the same path starts with
+// every shard warm (the restart-warm ROADMAP item).
+func TestFleetLUTPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "luts.json")
+	f, err := New(WithShards(2), WithLUTStore(path), WithCalibration(core.CalibrationConfig{Enabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := classesPerShard(t, f)
+	for i, class := range classes {
+		if _, err := f.Submit(testSource(t, class, int64(i+1), 8), testSessionConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("clean run did not save the LUT store: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("saved LUT store is empty")
+	}
+
+	// A restarted fleet starts warm: every shard's store already holds
+	// both classes' observations and calibration state.
+	f2, err := New(WithShards(2), WithLUTStore(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f2.shards {
+		for _, class := range classes {
+			lut := s.srv.Store().ForClass(class)
+			if lut.Observations() == 0 {
+				t.Fatalf("shard %d class %q is cold after restart", s.index, class)
+			}
+			if lut.Calibrations() == 0 {
+				t.Fatalf("shard %d class %q lost its calibration state", s.index, class)
+			}
+		}
+	}
+
+	// Shards must not share the loaded store.
+	f2.shards[0].srv.Store().ForClass(classes[0]).Observe(workload.MakeKey(4096, 0, 0, 32, 16), time.Millisecond)
+	a := f2.shards[0].srv.Store().ForClass(classes[0]).Observations()
+	b := f2.shards[1].srv.Store().ForClass(classes[0]).Observations()
+	if a == b {
+		t.Fatal("shards share one LUT store — estimation state must be per-shard")
+	}
+
+	// Corrupt file: New fails loudly instead of starting silently cold.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithShards(1), WithLUTStore(path)); err == nil {
+		t.Fatal("corrupt LUT store accepted")
+	}
+}
+
+// TestFleetRunContract: Run refuses to overlap itself and New validates
+// option errors.
+func TestFleetRunContract(t *testing.T) {
+	if _, err := New(WithShards(0)); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := New(WithAllocator("no-such-policy")); err == nil {
+		t.Fatal("unknown allocator accepted")
+	}
+	if _, err := New(WithShards(2), WithShardAllocator(5, sched.NameBaseline)); err == nil {
+		t.Fatal("out-of-range shard allocator accepted")
+	}
+	f, err := New(WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, _ = f.Run(context.Background())
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	if _, err := f.Run(context.Background()); err == nil {
+		t.Fatal("second concurrent Run allowed")
+	}
+	f.Close()
+}

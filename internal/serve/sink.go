@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mpsoc"
+)
+
+// GOPEvent reports one GOP a shard served for one session.
+type GOPEvent struct {
+	Shard   int
+	Session int
+	// Round is the shard-local round index the GOP was served in.
+	Round int
+	GOP   *core.GOPReport
+}
+
+// SessionEvent reports one session lifecycle transition.
+type SessionEvent struct {
+	Shard   int
+	Session int
+	State   core.SessionState
+	// Err is the terminal error of a failed session (nil otherwise).
+	Err error
+}
+
+// RoundEvent reports one settled serving round of one shard.
+type RoundEvent struct {
+	Shard   int
+	Outcome *core.GOPOutcome
+}
+
+// Sink receives the fleet's streaming telemetry. It replaces the
+// grow-forever ServiceReport as the service-level observation channel: a
+// sink sees every event as it happens and decides what to keep, so a
+// fleet can run indefinitely without accumulating per-GOP state it will
+// never look at again.
+//
+// Delivery contract (see DESIGN.md §8): the fleet serializes all sink
+// calls — no two methods run concurrently, so implementations need no
+// internal locking for the On* path. All round-scoped events of one
+// shard are delivered in order from that shard's serving goroutine:
+// state changes settled by the round (including terminal states), then
+// one OnGOP per admitted session in ascending session id, then one
+// OnRoundMetrics; per (shard, session) the GOPs arrive in round order
+// with the terminal transition during the final round's settlement.
+// Events of different shards interleave arbitrarily. The one
+// cross-goroutine event is StateQueued, delivered from the goroutine
+// that called Submit before Submit returns — in practice it precedes
+// the session's first OnGOP (a submission is first served on a later
+// round), but that ordering is not synchronized. Sink methods must not
+// call back into the fleet: Submit would re-enter the sink dispatch lock
+// on the same goroutine (self-deadlock), and serving methods are off
+// limits as everywhere. Close is the one permitted call. Churn-driven
+// callers inject arrivals through WithRoundHook, which runs after the
+// round's sink delivery with no sink lock held.
+type Sink interface {
+	OnGOP(e GOPEvent)
+	OnSessionStateChange(e SessionEvent)
+	OnRoundMetrics(e RoundEvent)
+}
+
+// MultiSink fans every event out to each sink in order.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) OnGOP(e GOPEvent) {
+	for _, s := range m {
+		s.OnGOP(e)
+	}
+}
+
+func (m multiSink) OnSessionStateChange(e SessionEvent) {
+	for _, s := range m {
+		s.OnSessionStateChange(e)
+	}
+}
+
+func (m multiSink) OnRoundMetrics(e RoundEvent) {
+	for _, s := range m {
+		s.OnRoundMetrics(e)
+	}
+}
+
+// RingSink is the bounded-memory replacement for ServiceReport: it keeps
+// exact aggregate counters (rounds, frames, GOP reports, energy totals,
+// terminal states) forever and the most recent Capacity round outcomes in
+// a ring buffer. When the service fits inside the ring — as every test
+// scenario does — Report reconstructs the old ServiceReport exactly; on a
+// long-running fleet the aggregates stay exact while memory stays
+// bounded.
+//
+// Safe for concurrent use: the On* path is serialized by the fleet, and
+// Report may be called from any goroutine at any time.
+type RingSink struct {
+	mu sync.Mutex
+
+	capacity int
+	outcomes []*core.GOPOutcome // ring buffer
+	next     int                // write position
+	total    int                // outcomes ever seen
+
+	rounds     int
+	frames     int
+	gopReports int
+	energy     mpsoc.Totals
+
+	states map[[2]int]core.SessionState // (shard, session) → latest state
+	errs   map[[2]int]error
+}
+
+// NewRingSink builds a sink retaining the last capacity round outcomes
+// (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{
+		capacity: capacity,
+		states:   make(map[[2]int]core.SessionState),
+		errs:     make(map[[2]int]error),
+	}
+}
+
+func (s *RingSink) OnGOP(e GOPEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gopReports++
+	s.frames += len(e.GOP.Frames)
+}
+
+func (s *RingSink) OnSessionStateChange(e SessionEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := [2]int{e.Shard, e.Session}
+	// The StateQueued event is the one delivery unsynchronized with the
+	// serving stream (see the Sink contract): if it arrives after the
+	// session already reached a terminal state, keep the terminal state —
+	// a session must never vanish from the reconstructed report.
+	if e.State == core.StateQueued {
+		if cur, seen := s.states[k]; seen && cur != core.StateQueued {
+			return
+		}
+	}
+	s.states[k] = e.State
+	if e.Err != nil {
+		s.errs[k] = e.Err
+	}
+}
+
+func (s *RingSink) OnRoundMetrics(e RoundEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rounds++
+	s.energy.Add(e.Outcome.Energy)
+	if len(s.outcomes) < s.capacity {
+		s.outcomes = append(s.outcomes, e.Outcome)
+	} else {
+		s.outcomes[s.next] = e.Outcome
+	}
+	s.next = (s.next + 1) % s.capacity
+	s.total++
+}
+
+// Dropped reports how many round outcomes fell out of the ring (0 while
+// the service fits).
+func (s *RingSink) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total <= s.capacity {
+		return 0
+	}
+	return s.total - s.capacity
+}
+
+// Report reconstructs a ServiceReport from the retained telemetry:
+// aggregates are exact for the whole service lifetime; Outcomes holds the
+// rounds still in the ring (all of them when the service fit). Session
+// ids are shard-local — on a multi-shard fleet two shards both have a
+// session 0 — so the id lists are only meaningful per shard; pass the
+// shard index to scope the report, or -1 for the fleet-wide view of a
+// single-shard fleet (ids collide otherwise, counts stay correct).
+func (s *RingSink) Report(shard int) *core.ServiceReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &core.ServiceReport{
+		Rounds:        s.rounds,
+		FramesEncoded: s.frames,
+		GOPReports:    s.gopReports,
+		Energy:        s.energy,
+		Errors:        make(map[int]error),
+	}
+	keys := make([][2]int, 0, len(s.states))
+	for k := range s.states {
+		if shard >= 0 && k[0] != shard {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rep.Submitted++
+		switch s.states[k] {
+		case core.StateCompleted:
+			rep.Completed = append(rep.Completed, k[1])
+		case core.StateRejected:
+			rep.Rejected = append(rep.Rejected, k[1])
+		case core.StateFailed:
+			rep.Failed = append(rep.Failed, k[1])
+			rep.Errors[k[1]] = s.errs[k]
+		}
+	}
+	// Ring contents in arrival order (oldest first).
+	if s.total <= s.capacity {
+		rep.Outcomes = append(rep.Outcomes, s.outcomes...)
+	} else {
+		for i := 0; i < s.capacity; i++ {
+			rep.Outcomes = append(rep.Outcomes, s.outcomes[(s.next+i)%s.capacity])
+		}
+	}
+	return rep
+}
+
+// JSONLSink streams every event as one JSON line — the wire format for
+// shipping fleet telemetry into a log pipeline instead of process memory.
+// Events are flattened to stable scalar fields (no frame payloads, no
+// pointers), so lines stay small and parseable regardless of GOP size.
+//
+// Safe for concurrent use; each line is written atomically under a lock.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink streams events to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+type jsonlGOP struct {
+	Event    string  `json:"event"` // "gop"
+	Shard    int     `json:"shard"`
+	Session  int     `json:"session"`
+	Round    int     `json:"round"`
+	GOPIndex int     `json:"gop_index"`
+	Frames   int     `json:"frames"`
+	Tiles    int     `json:"tiles"`
+	PSNR     float64 `json:"psnr_db"`
+	Kbps     float64 `json:"kbps"`
+	CPUms    float64 `json:"cpu_ms"`
+	Digest   string  `json:"digest"`
+}
+
+type jsonlState struct {
+	Event   string `json:"event"` // "session_state"
+	Shard   int    `json:"shard"`
+	Session int    `json:"session"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+}
+
+type jsonlRound struct {
+	Event       string  `json:"event"` // "round"
+	Shard       int     `json:"shard"`
+	Round       int     `json:"round"`
+	Admitted    []int   `json:"admitted"`
+	Rejected    []int   `json:"rejected,omitempty"`
+	TimedOut    []int   `json:"timed_out,omitempty"`
+	CoresUsed   int     `json:"cores_used"`
+	AvgPowerW   float64 `json:"avg_power_w"`
+	EstimateErr float64 `json:"estimate_err,omitempty"`
+}
+
+func (s *JSONLSink) OnGOP(e GOPEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(jsonlGOP{
+		Event:    "gop",
+		Shard:    e.Shard,
+		Session:  e.Session,
+		Round:    e.Round,
+		GOPIndex: e.GOP.Index,
+		Frames:   len(e.GOP.Frames),
+		Tiles:    e.GOP.Grid.NumTiles(),
+		PSNR:     e.GOP.MeanPSNR,
+		Kbps:     e.GOP.MeanKbps,
+		CPUms:    float64(e.GOP.CPUTime.Microseconds()) / 1e3,
+		Digest:   fmt.Sprintf("%016x", e.GOP.Digest),
+	})
+}
+
+func (s *JSONLSink) OnSessionStateChange(e SessionEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line := jsonlState{
+		Event:   "session_state",
+		Shard:   e.Shard,
+		Session: e.Session,
+		State:   e.State.String(),
+	}
+	if e.Err != nil {
+		line.Error = e.Err.Error()
+	}
+	_ = s.enc.Encode(line)
+}
+
+func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := e.Outcome
+	_ = s.enc.Encode(jsonlRound{
+		Event:       "round",
+		Shard:       e.Shard,
+		Round:       out.Round,
+		Admitted:    out.AdmittedUsers,
+		Rejected:    out.RejectedUsers,
+		TimedOut:    out.TimedOut,
+		CoresUsed:   out.Allocation.CoresUsed,
+		AvgPowerW:   out.Energy.AvgPowerW,
+		EstimateErr: out.EstimateErr,
+	})
+}

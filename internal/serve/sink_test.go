@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONLSinkStreamsParseableEvents: every event becomes one valid JSON
+// line with the expected envelope, and the stream covers the session's
+// whole lifecycle.
+func TestJSONLSinkStreamsParseableEvents(t *testing.T) {
+	var buf bytes.Buffer
+	f, err := New(WithShards(1), WithSink(NewJSONLSink(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(testSource(t, "stream", 1, 8), testSessionConfig()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Event   string `json:"event"`
+			Shard   int    `json:"shard"`
+			Session int    `json:"session"`
+			State   string `json:"state"`
+			Frames  int    `json:"frames"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("unparseable line %q: %v", sc.Text(), err)
+		}
+		if line.Event == "" {
+			t.Fatalf("line without event type: %q", sc.Text())
+		}
+		if line.Event == "gop" && line.Frames != 4 {
+			t.Fatalf("gop event with %d frames, want 4: %q", line.Frames, sc.Text())
+		}
+		counts[line.Event]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 frames in GOPs of 4 → 2 rounds, 2 GOPs; queued + completed.
+	if counts["gop"] != 2 || counts["round"] != 2 || counts["session_state"] != 2 {
+		t.Fatalf("event counts %v, want 2 gop / 2 round / 2 session_state", counts)
+	}
+}
+
+// TestMultiSinkFansOut: both sinks see every event.
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := &recordingSink{}, &recordingSink{}
+	f, err := New(WithShards(1), WithSink(MultiSink(a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(testSource(t, "fan", 1, 4), testSessionConfig()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.gops) != 1 || len(b.gops) != len(a.gops) ||
+		len(a.rounds) != 1 || len(b.rounds) != len(a.rounds) ||
+		len(a.states) != 2 || len(b.states) != len(a.states) {
+		t.Fatalf("sinks diverge: a=%d/%d/%d b=%d/%d/%d",
+			len(a.gops), len(a.rounds), len(a.states), len(b.gops), len(b.rounds), len(b.states))
+	}
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Persistence of the per-class LUT store: a restarted service loads the
+// previous run's tables and starts estimating from warm state — including
+// the calibration EWMA, which otherwise only exists for the lifetime of
+// the process (the ROADMAP's "LUTs die with the process" open item).
+//
+// The format is JSON with classes and keys in sorted order, so saving the
+// same store twice yields identical bytes (diff-able snapshots, stable
+// test fixtures). Versioned for forward evolution.
+
+// persistVersion is bumped on incompatible format changes.
+const persistVersion = 1
+
+type storeJSON struct {
+	Version int         `json:"version"`
+	Classes []classJSON `json:"classes"`
+}
+
+type classJSON struct {
+	Class string    `json:"class"`
+	Keys  []keyJSON `json:"keys"`
+	// Fallback mean and estimation-error aggregates (see LUT).
+	FallbackSumNS int64  `json:"fallback_sum_ns"`
+	FallbackCount uint64 `json:"fallback_count"`
+	ErrSumNS      int64  `json:"err_sum_ns"`
+	ErrCount      uint64 `json:"err_count"`
+}
+
+type keyJSON struct {
+	Key      Key      `json:"key"`
+	Count    uint64   `json:"count"`
+	SumNS    int64    `json:"sum_ns"`
+	Bins     []uint64 `json:"bins,omitempty"`
+	CalCount uint64   `json:"cal_count,omitempty"`
+	CalEWMA  float64  `json:"cal_ewma_ns,omitempty"`
+}
+
+// Save writes the store — every class LUT with its histograms, fallback
+// aggregates and calibration EWMA state — as deterministic JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.Lock()
+	classes := make([]string, 0, len(s.luts))
+	for c := range s.luts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	doc := storeJSON{Version: persistVersion}
+	for _, c := range classes {
+		doc.Classes = append(doc.Classes, s.luts[c].toJSON(c))
+	}
+	s.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// toJSON snapshots one LUT (takes the LUT's own lock).
+func (l *LUT) toJSON(class string) classJSON {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	cj := classJSON{
+		Class:         class,
+		FallbackSumNS: int64(l.fallbackSum),
+		FallbackCount: l.fallbackCount,
+		ErrSumNS:      int64(l.errSum),
+		ErrCount:      l.errCount,
+	}
+	keys := make([]Key, 0, len(l.m))
+	for k := range l.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	for _, k := range keys {
+		h := l.m[k]
+		kj := keyJSON{
+			Key:      k,
+			Count:    h.count,
+			SumNS:    int64(h.sum),
+			CalCount: h.calCount,
+			CalEWMA:  h.calEWMA,
+		}
+		for _, b := range h.bins {
+			if b != 0 {
+				kj.Bins = append([]uint64(nil), h.bins[:]...)
+				break
+			}
+		}
+		cj.Keys = append(cj.Keys, kj)
+	}
+	return cj
+}
+
+// LoadStore reads a store previously written by Save. Estimates, fallback
+// behavior and calibration state round-trip exactly.
+func LoadStore(r io.Reader) (*Store, error) {
+	var doc storeJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("workload: load store: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("workload: store version %d, want %d", doc.Version, persistVersion)
+	}
+	s := NewStore()
+	for _, cj := range doc.Classes {
+		if cj.Class == "" {
+			return nil, fmt.Errorf("workload: store entry with empty class")
+		}
+		l := s.ForClass(cj.Class)
+		l.fallbackSum = time.Duration(cj.FallbackSumNS)
+		l.fallbackCount = cj.FallbackCount
+		l.errSum = time.Duration(cj.ErrSumNS)
+		l.errCount = cj.ErrCount
+		for _, kj := range cj.Keys {
+			if len(kj.Bins) != 0 && len(kj.Bins) != numBins {
+				return nil, fmt.Errorf("workload: key %v has %d bins, want %d", kj.Key, len(kj.Bins), numBins)
+			}
+			h := &histogram{
+				count:    kj.Count,
+				sum:      time.Duration(kj.SumNS),
+				calCount: kj.CalCount,
+				calEWMA:  kj.CalEWMA,
+			}
+			copy(h.bins[:], kj.Bins)
+			l.m[kj.Key] = h
+		}
+	}
+	return s, nil
+}
+
+// Merge folds other's observations into s: histograms add, the
+// calibration EWMAs combine weighted by their update counts (an exact
+// EWMA cannot be recovered from two interleaved streams; the count
+// -weighted mean is the unbiased summary of what both shards measured).
+// A fleet saves one file by merging its shards' stores; classes that live
+// on exactly one shard — the common case under class-consistent routing —
+// merge losslessly.
+func (s *Store) Merge(other *Store) {
+	if other == nil || other == s {
+		return
+	}
+	other.mu.Lock()
+	classes := make([]string, 0, len(other.luts))
+	for c := range other.luts {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	src := make(map[string]*LUT, len(classes))
+	for _, c := range classes {
+		src[c] = other.luts[c]
+	}
+	other.mu.Unlock()
+	for _, c := range classes {
+		s.ForClass(c).merge(src[c])
+	}
+}
+
+// merge folds one LUT into l.
+func (l *LUT) merge(other *LUT) {
+	if other == nil || other == l {
+		return
+	}
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fallbackSum += other.fallbackSum
+	l.fallbackCount += other.fallbackCount
+	l.errSum += other.errSum
+	l.errCount += other.errCount
+	for k, oh := range other.m {
+		h := l.m[k]
+		if h == nil {
+			h = &histogram{}
+			l.m[k] = h
+		}
+		h.count += oh.count
+		h.sum += oh.sum
+		for i := range h.bins {
+			h.bins[i] += oh.bins[i]
+		}
+		switch {
+		case oh.calCount == 0:
+		case h.calCount == 0:
+			h.calCount = oh.calCount
+			h.calEWMA = oh.calEWMA
+		default:
+			total := float64(h.calCount + oh.calCount)
+			h.calEWMA = (h.calEWMA*float64(h.calCount) + oh.calEWMA*float64(oh.calCount)) / total
+			h.calCount += oh.calCount
+		}
+	}
+}
+
+// Clone returns a deep copy of the store (shared with nothing).
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	out.Merge(s)
+	return out
+}

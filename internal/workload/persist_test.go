@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// warmStore builds a store with observations, calibrations and estimation
+// -error state across two classes.
+func warmStore() *Store {
+	s := NewStore()
+	brain := s.ForClass("brain")
+	chest := s.ForClass("chest")
+	for i := 0; i < 40; i++ {
+		k := MakeKey(64*64*(i%4+1), i%3, i%2, 22+5*(i%5), 8<<(i%4))
+		brain.Observe(k, time.Duration(100+i*13)*time.Microsecond)
+		if i%2 == 0 {
+			brain.Calibrate(k, time.Duration(90+i*11)*time.Microsecond, 0.5)
+		}
+		if i%3 == 0 {
+			chest.Observe(k, time.Duration(200+i*7)*time.Microsecond)
+		}
+	}
+	return s
+}
+
+// TestStoreSaveLoadRoundTrip: estimates, fallback, error statistics and
+// calibration state survive a save/load cycle exactly.
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := warmStore()
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Classes(), s.Classes(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("classes %v, want %v", got, want)
+	}
+	for _, class := range s.Classes() {
+		orig, back := s.ForClass(class), loaded.ForClass(class)
+		if orig.Observations() != back.Observations() {
+			t.Fatalf("%s: observations %d vs %d", class, orig.Observations(), back.Observations())
+		}
+		if orig.Calibrations() != back.Calibrations() {
+			t.Fatalf("%s: calibrations %d vs %d", class, orig.Calibrations(), back.Calibrations())
+		}
+		oe, oc := orig.MeanAbsError()
+		be, bc := back.MeanAbsError()
+		if oe != be || oc != bc {
+			t.Fatalf("%s: error stats (%v,%d) vs (%v,%d)", class, oe, oc, be, bc)
+		}
+		keys := orig.Keys()
+		if len(keys) == 0 {
+			t.Fatalf("%s: warm store has no keys", class)
+		}
+		for _, k := range keys {
+			if got, want := back.Estimate(k), orig.Estimate(k); got != want {
+				t.Fatalf("%s %v: estimate %v, want %v", class, k, got, want)
+			}
+			oh, _ := orig.Histogram(k)
+			bh, ok := back.Histogram(k)
+			if !ok {
+				t.Fatalf("%s %v: histogram lost", class, k)
+			}
+			for i := range oh {
+				if oh[i] != bh[i] {
+					t.Fatalf("%s %v: bin %d is %d, want %d", class, k, i, bh[i], oh[i])
+				}
+			}
+		}
+		// An unknown key exercises the nearest-key and fallback paths.
+		cold := MakeKey(100*100, 2, 1, 42, 64)
+		if got, want := back.Estimate(cold), orig.Estimate(cold); got != want {
+			t.Fatalf("%s: cold-key estimate %v, want %v", class, got, want)
+		}
+	}
+}
+
+// TestStoreSaveDeterministic: identical state yields identical bytes.
+func TestStoreSaveDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := warmStore().Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := warmStore().Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of identical stores differ")
+	}
+}
+
+// TestLoadStoreRejectsGarbage: version and shape errors are reported, not
+// silently swallowed into an empty store.
+func TestLoadStoreRejectsGarbage(t *testing.T) {
+	if _, err := LoadStore(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadStore(strings.NewReader(`{"version": 99, "classes": []}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := LoadStore(strings.NewReader(`{"version": 1, "classes": [{"class": ""}]}`)); err == nil {
+		t.Fatal("empty class name accepted")
+	}
+}
+
+// TestStoreMergeAndClone: merging sums histograms, combines EWMAs by
+// count, and Clone shares nothing with its source.
+func TestStoreMergeAndClone(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	k := MakeKey(64*64, 1, 0, 32, 16)
+	a.ForClass("brain").Observe(k, 100*time.Microsecond)
+	a.ForClass("brain").Observe(k, 200*time.Microsecond)
+	b.ForClass("brain").Observe(k, 400*time.Microsecond)
+	b.ForClass("bone").Observe(k, 50*time.Microsecond)
+	a.ForClass("brain").Calibrate(k, 100*time.Microsecond, 0.5) // EWMA 100µs, count 1
+	b.ForClass("brain").Calibrate(k, 400*time.Microsecond, 0.5) // EWMA 400µs, count 1
+
+	a.Merge(b)
+	brain := a.ForClass("brain")
+	if got := brain.Observations(); got != 3 {
+		t.Fatalf("merged observations %d, want 3", got)
+	}
+	// Calibrated key: count-weighted EWMA mean (100+400)/2 = 250µs.
+	if got := brain.Estimate(k); got != 250*time.Microsecond {
+		t.Fatalf("merged calibrated estimate %v, want 250µs", got)
+	}
+	if got := a.ForClass("bone").Observations(); got != 1 {
+		t.Fatalf("merged bone observations %d, want 1", got)
+	}
+
+	clone := a.Clone()
+	clone.ForClass("brain").Observe(k, time.Second)
+	if brain.Observations() != 3 {
+		t.Fatal("mutating the clone changed the source store")
+	}
+	if clone.ForClass("brain").Observations() != 4 {
+		t.Fatal("clone did not take the copy")
+	}
+	// Self-merge is a no-op, not a doubling.
+	a.Merge(a)
+	if brain.Observations() != 3 {
+		t.Fatal("self-merge doubled the store")
+	}
+}
