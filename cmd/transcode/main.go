@@ -26,7 +26,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/medgen"
@@ -50,11 +53,18 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-frame rows")
 		yuvPath    = flag.String("yuv", "", "transcode a raw planar I420 file instead of a synthetic study (uses -width/-height/-class)")
 		users      = flag.Int("users", 1, "serve N concurrent synthetic sessions through the fleet serving loop")
-		shards     = flag.Int("shards", 1, "number of platform shards behind the fleet dispatcher")
+		shards     = flag.Int("shards", 1, "initial number of platform shards behind the fleet dispatcher")
 		allocator  = flag.String("allocator", sched.NameContentAware,
 			fmt.Sprintf("stage-D2 allocation policy: %s", strings.Join(sched.Names(), "|")))
 		sinkFlag = flag.String("sink", "report", "telemetry sink: report|jsonl|jsonl:PATH|none")
 		lutsPath = flag.String("luts", "", "persist warmed workload LUTs at PATH (loaded on start, saved on clean exit)")
+
+		minShards  = flag.Int("min-shards", 0, "autoscaler floor (0 = -shards); the fleet never shrinks below this")
+		maxShards  = flag.Int("max-shards", 0, "autoscaler ceiling (0 = -shards); the fleet never grows beyond this")
+		targetLoad = flag.Int("target-load", 4, "autoscaler target live sessions per shard")
+		scaleAfter = flag.Int("scale-window", 2, "consecutive saturated/idle observations before the autoscaler resizes")
+		resizeAt   = flag.String("resize-at", "", "forced resize schedule ROUND:SHARDS[,ROUND:SHARDS...] on total fleet rounds (e.g. 6:4,14:3)")
+		stagger    = flag.Int("stagger", 0, "submit one user every N fleet rounds instead of all upfront (0 = upfront)")
 	)
 	flag.Parse()
 
@@ -67,6 +77,9 @@ func main() {
 			users: *users, shards: *shards, width: *width, height: *height,
 			frames: *frames, seed: *seed, mode: *modeFlag,
 			allocator: *allocator, sink: *sinkFlag, luts: *lutsPath,
+			minShards: *minShards, maxShards: *maxShards,
+			targetLoad: *targetLoad, scaleWindow: *scaleAfter,
+			resizeAt: *resizeAt, stagger: *stagger,
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -163,34 +176,194 @@ type fleetOpts struct {
 	users, shards, width, height, frames int
 	seed                                 int64
 	mode, allocator, sink, luts          string
+
+	minShards, maxShards    int
+	targetLoad, scaleWindow int
+	resizeAt                string
+	stagger                 int
 }
 
-// buildSink maps the -sink flag to a serve.Sink; the returned RingSink is
-// non-nil when the final report should be reconstructed from it.
-func buildSink(spec string) (serve.Sink, *serve.RingSink, error) {
+// buildSink maps the -sink flag to a serve.Sink; the returned RingSink
+// is non-nil when the final report should be reconstructed from it, and
+// the close func flushes a buffered sink (call it after Run returns).
+// JSONL sinks are buffered with the block policy: a slow pipe no longer
+// stalls serving through the sink lock, and no line is ever dropped.
+func buildSink(spec string) (serve.Sink, *serve.RingSink, func() error, error) {
+	noop := func() error { return nil }
 	switch {
 	case spec == "none":
-		return nil, nil, nil
+		return nil, nil, noop, nil
 	case spec == "report":
 		ring := serve.NewRingSink(256)
-		return ring, ring, nil
+		return ring, ring, noop, nil
 	case spec == "jsonl":
-		return serve.NewJSONLSink(os.Stdout), nil, nil
+		s := serve.NewBufferedJSONLSink(os.Stdout, 1024, serve.JSONLBlock)
+		return s, nil, s.Close, nil
 	case strings.HasPrefix(spec, "jsonl:"):
 		f, err := os.Create(strings.TrimPrefix(spec, "jsonl:"))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return serve.NewJSONLSink(f), nil, nil
+		s := serve.NewBufferedJSONLSink(f, 1024, serve.JSONLBlock)
+		return s, nil, func() error {
+			serr := s.Close()
+			if cerr := f.Close(); serr == nil {
+				serr = cerr
+			}
+			return serr
+		}, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown sink %q (report|jsonl|jsonl:PATH|none)", spec)
+		return nil, nil, nil, fmt.Errorf("unknown sink %q (report|jsonl|jsonl:PATH|none)", spec)
+	}
+}
+
+// resizeStep is one forced entry of the -resize-at schedule.
+type resizeStep struct {
+	round, shards int
+}
+
+// parseResizeAt parses "ROUND:SHARDS[,ROUND:SHARDS...]".
+func parseResizeAt(spec string) ([]resizeStep, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var steps []resizeStep
+	for _, part := range strings.Split(spec, ",") {
+		var s resizeStep
+		if _, err := fmt.Sscanf(part, "%d:%d", &s.round, &s.shards); err != nil {
+			return nil, fmt.Errorf("bad -resize-at entry %q (want ROUND:SHARDS)", part)
+		}
+		steps = append(steps, s)
+	}
+	sort.Slice(steps, func(a, b int) bool { return steps[a].round < steps[b].round })
+	return steps, nil
+}
+
+// autoscaler drives Fleet.Resize from its own goroutine — resizes must
+// not run on serving goroutines — fed one tick per settled fleet round.
+// A forced -resize-at schedule takes precedence; otherwise the policy
+// scales up when the fleet holds more than targetLoad live sessions per
+// shard for window consecutive rounds, and down when the remaining
+// shards could absorb the load, with the same hysteresis window.
+type autoscaler struct {
+	fleet        *serve.Fleet
+	min, max     int
+	target       int
+	window       int
+	forced       []resizeStep
+	ticks        chan int // total settled fleet rounds, monotone
+	done         chan struct{}
+	stopped      chan struct{}
+	upRun, dnRun int
+}
+
+func newAutoscaler(fleet *serve.Fleet, o fleetOpts, forced []resizeStep) *autoscaler {
+	a := &autoscaler{
+		fleet:   fleet,
+		min:     o.minShards,
+		max:     o.maxShards,
+		target:  o.targetLoad,
+		window:  o.scaleWindow,
+		forced:  forced,
+		ticks:   make(chan int, 64),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go a.loop()
+	return a
+}
+
+// tick reports a settled round (non-blocking; called from round hooks).
+func (a *autoscaler) tick(totalRounds int) {
+	select {
+	case a.ticks <- totalRounds:
+	default:
+	}
+}
+
+// stop ends the loop and waits for an in-flight resize to land.
+func (a *autoscaler) stop() {
+	close(a.done)
+	<-a.stopped
+}
+
+func (a *autoscaler) loop() {
+	defer close(a.stopped)
+	for {
+		select {
+		case <-a.done:
+			return
+		case rounds := <-a.ticks:
+			a.observe(rounds)
+		}
+	}
+}
+
+// observe applies the forced schedule, then the load policy.
+func (a *autoscaler) observe(rounds int) {
+	for len(a.forced) > 0 && rounds >= a.forced[0].round {
+		step := a.forced[0]
+		a.forced = a.forced[1:]
+		a.resize(step.shards, "scheduled")
+	}
+	if len(a.forced) > 0 {
+		return // let a pending schedule play out before reacting to load
+	}
+	if a.min >= a.max {
+		return // elasticity not requested
+	}
+	live, total := 0, 0
+	for _, l := range a.fleet.Loads() {
+		if l < 0 {
+			continue
+		}
+		live++
+		total += l
+	}
+	if live == 0 {
+		return
+	}
+	switch {
+	case live < a.max && total > live*a.target:
+		a.upRun++
+		a.dnRun = 0
+		if a.upRun >= a.window {
+			a.upRun = 0
+			a.resize(live+1, fmt.Sprintf("sustained saturation (%d sessions on %d shards)", total, live))
+		}
+	case live > a.min && total <= (live-1)*a.target:
+		a.dnRun++
+		a.upRun = 0
+		if a.dnRun >= a.window {
+			a.dnRun = 0
+			a.resize(live-1, fmt.Sprintf("sustained idleness (%d sessions on %d shards)", total, live))
+		}
+	default:
+		a.upRun, a.dnRun = 0, 0
+	}
+}
+
+func (a *autoscaler) resize(n int, why string) {
+	if a.max > 0 && n > a.max {
+		n = a.max
+	}
+	if n < a.min {
+		n = a.min
+	}
+	if n == a.fleet.Shards() {
+		return
+	}
+	fmt.Printf("autoscaler: resizing fleet %d → %d shards (%s)\n", a.fleet.Shards(), n, why)
+	if err := a.fleet.Resize(n); err != nil {
+		fmt.Fprintf(os.Stderr, "autoscaler: resize to %d failed: %v\n", n, err)
 	}
 }
 
 // serveFleet drives the fleet serving API: n synthetic sessions of
-// rotating classes/motions are submitted up front, routed across the
-// shards by workload class, and served with the admission ladder and
-// estimate calibration on.
+// rotating classes/motions are routed across the shards by workload
+// class and served with the admission ladder (including rate-rung
+// recovery), estimate calibration and — when -min-shards/-max-shards
+// span a range or -resize-at forces it — live fleet resizing.
 func serveFleet(ctx context.Context, o fleetOpts) error {
 	mode := core.ModeProposed
 	switch o.mode {
@@ -200,7 +373,31 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	default:
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
-	sink, ring, err := buildSink(o.sink)
+	if o.minShards <= 0 {
+		o.minShards = o.shards
+	}
+	if o.maxShards <= 0 {
+		o.maxShards = o.shards
+	}
+	if o.minShards > o.shards || o.maxShards < o.shards {
+		return fmt.Errorf("-shards %d outside [-min-shards %d, -max-shards %d]", o.shards, o.minShards, o.maxShards)
+	}
+	forced, err := parseResizeAt(o.resizeAt)
+	if err != nil {
+		return err
+	}
+	// An explicit schedule outranks the default bounds: widen them to
+	// cover every scheduled size so -resize-at alone is never silently
+	// clamped into a no-op.
+	for _, st := range forced {
+		if st.shards > o.maxShards {
+			o.maxShards = st.shards
+		}
+		if st.shards < o.minShards {
+			o.minShards = st.shards
+		}
+	}
+	sink, ring, closeSink, err := buildSink(o.sink)
 	if err != nil {
 		return err
 	}
@@ -208,42 +405,24 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	// Cap each shard's live sessions at an even share of the submitted
 	// users: the synthetic corpus has only a handful of workload classes,
 	// so pure class routing can pile everyone on one shard — the capacity
-	// bound spills the overflow to the least-loaded shards.
+	// bound spills the overflow to the least-loaded shards. An elastic
+	// run instead caps shards at the autoscaler's per-shard target, so
+	// "shard full" means the same thing to routing and to scaling.
 	capacity := (o.users + o.shards - 1) / o.shards
-	fleetOptions := []serve.Option{
-		serve.WithShards(o.shards),
-		serve.WithShardCapacity(capacity),
-		serve.WithAllocator(o.allocator),
-		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
-		serve.WithAdmission(core.AdmissionConfig{Enabled: true}),
-		serve.WithRoundHook(func(shard int, out *core.GOPOutcome) {
-			fmt.Printf("shard %d round %2d: admitted %v", shard, out.Round, out.AdmittedUsers)
-			if len(out.RejectedUsers) > 0 {
-				fmt.Printf(", waiting %v", out.RejectedUsers)
-			}
-			if len(out.TimedOut) > 0 {
-				fmt.Printf(", timed out %v", out.TimedOut)
-			}
-			if out.EstimateTiles > 0 {
-				fmt.Printf(", estimate error %.1f%%", 100*out.EstimateErr)
-			}
-			fmt.Printf(", %.1f W\n", out.Energy.AvgPowerW)
-		}),
+	if o.minShards < o.maxShards || len(forced) > 0 {
+		capacity = o.targetLoad
 	}
-	if sink != nil {
-		fleetOptions = append(fleetOptions, serve.WithSink(sink))
-	}
-	if o.luts != "" {
-		fleetOptions = append(fleetOptions, serve.WithLUTStore(o.luts))
-	}
-	fleet, err := serve.New(fleetOptions...)
-	if err != nil {
-		return err
-	}
+	var fleet *serve.Fleet
+	var scaler *autoscaler
+	// Fleet-wide settled-round counter driving staggered arrivals and the
+	// autoscaler (hooks run on serving goroutines; resizes do not).
+	var totalRounds atomic.Int64
+	submitted := 0
+	var submitMu sync.Mutex
 
-	classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
-	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
-	for i := 0; i < o.users; i++ {
+	submitUser := func(i int) error {
+		classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
+		motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
 		vc := medgen.Default()
 		vc.Width, vc.Height = o.width, o.height
 		vc.Frames = o.frames
@@ -266,15 +445,104 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		}
 		fmt.Printf("user %2d (%s) → shard %d (home %d)\n",
 			i, vc.Class, p.Shard, fleet.HomeShard(vc.Class.String()))
+		return nil
 	}
-	fleet.Close()
 
-	fmt.Printf("\nserving %d users on %d shard(s) of %d cores each, allocator %q\n\n",
-		o.users, o.shards, mpsoc.XeonE5_2667V4().Cores, o.allocator)
+	fleetOptions := []serve.Option{
+		serve.WithShards(o.shards),
+		serve.WithShardCapacity(capacity),
+		serve.WithAllocator(o.allocator),
+		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
+		serve.WithAdmission(core.AdmissionConfig{Enabled: true, RecoverAfterRounds: 3}),
+		serve.WithRoundHook(func(shard int, out *core.GOPOutcome) {
+			fmt.Printf("shard %d round %2d: admitted %v", shard, out.Round, out.AdmittedUsers)
+			if len(out.RejectedUsers) > 0 {
+				fmt.Printf(", waiting %v", out.RejectedUsers)
+			}
+			if len(out.TimedOut) > 0 {
+				fmt.Printf(", timed out %v", out.TimedOut)
+			}
+			if len(out.Recovered) > 0 {
+				fmt.Printf(", rate-restored %v", out.Recovered)
+			}
+			if out.EstimateTiles > 0 {
+				fmt.Printf(", estimate error %.1f%%", 100*out.EstimateErr)
+			}
+			fmt.Printf(", %.1f W\n", out.Energy.AvgPowerW)
+
+			rounds := int(totalRounds.Add(1))
+			// Staggered churn: one new arrival every -stagger fleet
+			// rounds; the queue closes after the last one.
+			if o.stagger > 0 {
+				submitMu.Lock()
+				for submitted < o.users && rounds >= submitted*o.stagger {
+					if err := submitUser(submitted); err != nil {
+						fmt.Fprintf(os.Stderr, "transcode: submit user %d: %v\n", submitted, err)
+					}
+					submitted++
+				}
+				// Never let the service idle out with users still pending:
+				// if this round retired the last live session before the
+				// next stagger threshold, no further round (and hence no
+				// further hook) would ever fire — submit the next user now.
+				if submitted < o.users && fleet.Load() == 0 {
+					if err := submitUser(submitted); err != nil {
+						fmt.Fprintf(os.Stderr, "transcode: submit user %d: %v\n", submitted, err)
+					}
+					submitted++
+				}
+				if submitted == o.users {
+					submitted++ // close once
+					fleet.Close()
+				}
+				submitMu.Unlock()
+			}
+			if scaler != nil {
+				scaler.tick(rounds)
+			}
+		}),
+	}
+	if sink != nil {
+		fleetOptions = append(fleetOptions, serve.WithSink(sink))
+	}
+	if o.luts != "" {
+		fleetOptions = append(fleetOptions, serve.WithLUTStore(o.luts))
+	}
+	fleet, err = serve.New(fleetOptions...)
+	if err != nil {
+		return err
+	}
+	scaler = newAutoscaler(fleet, o, forced)
+
+	if o.stagger > 0 {
+		// Seed the service with the first user; the round hook feeds the
+		// rest and closes the queue.
+		submitMu.Lock()
+		if err := submitUser(0); err != nil {
+			submitMu.Unlock()
+			return err
+		}
+		submitted = 1
+		submitMu.Unlock()
+	} else {
+		for i := 0; i < o.users; i++ {
+			if err := submitUser(i); err != nil {
+				return err
+			}
+		}
+		fleet.Close()
+	}
+
+	fmt.Printf("\nserving %d users on %d shard(s) of %d cores each (min %d, max %d), allocator %q\n\n",
+		o.users, o.shards, mpsoc.XeonE5_2667V4().Cores, o.minShards, o.maxShards, o.allocator)
 	rep, runErr := fleet.Run(ctx)
+	scaler.stop()
+	if cerr := closeSink(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
 
-	fmt.Printf("\nfleet report: %d rounds over %d shards, %d/%d sessions completed (%d rejected, %d failed)\n",
-		rep.Rounds, len(rep.Shards), rep.Completed, rep.Submitted, rep.Rejected, rep.Failed)
+	fmt.Printf("\nfleet report: %d rounds over %d shards, %d/%d sessions completed (%d rejected, %d failed, %d migrations)\n",
+		rep.Rounds, len(rep.Shards), rep.Completed, rep.Submitted, rep.Rejected, rep.Failed, rep.Migrated)
 	fmt.Printf("  %d frames in %d GOP reports, %.1f J total (avg %.1f W, peak %.1f W), %d deadline misses\n",
 		rep.FramesEncoded, rep.GOPReports, rep.Energy.EnergyJ, rep.Energy.AvgPowerW(), rep.Energy.PeakPowerW, rep.Energy.DeadlineMisses)
 	for _, sr := range rep.Shards {
@@ -282,13 +550,21 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		if sr.Err != nil {
 			status = sr.Err.Error()
 		}
-		fmt.Printf("  shard %d: %d rounds, %d completed, %d restarts [%s]\n",
-			sr.Shard, sr.Report.Rounds, len(sr.Report.Completed), sr.Restarts, status)
+		if sr.Report == nil {
+			fmt.Printf("  shard %d: never served [%s]\n", sr.Shard, status)
+			continue
+		}
+		fmt.Printf("  shard %d: %d rounds, %d completed, %d migrated away, %d restarts [%s]\n",
+			sr.Shard, sr.Report.Rounds, len(sr.Report.Completed), len(sr.Report.Migrated), sr.Restarts, status)
 	}
 	if ring != nil {
 		if e, tiles := ring.Report(-1).MeanEstimateErr(0); tiles > 0 {
 			fmt.Printf("  mean stage-D1 estimate error %.1f%% over %d tiles (ring sink, %d rounds dropped)\n",
 				100*e, tiles, ring.Dropped())
+		}
+		if added, removed := ring.Resizes(); added+removed > 0 {
+			fmt.Printf("  elasticity: %d shards added, %d removed, %d session migrations\n",
+				added, removed, ring.Migrations())
 		}
 	}
 	if o.luts != "" && runErr == nil {

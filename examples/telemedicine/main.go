@@ -7,7 +7,10 @@
 // LUTs stay warm, the admission ladder degrades newcomers when a shard
 // saturates (uniform tiling → higher QP → half frame rate → bounded
 // queue), and a ring-buffer sink keeps the service observable without
-// growing with every GOP.
+// growing with every GOP. When the morning rush piles up, a scaler
+// goroutine grows the fleet with Fleet.Resize — and shrinks it again as
+// the clinic empties, migrating any still-running consultation to a
+// surviving shard at a GOP boundary, without losing a frame.
 package main
 
 import (
@@ -66,13 +69,36 @@ func main() {
 		return nil
 	}
 
+	// The scaler lives on its own goroutine: Resize waits for a drained
+	// shard's serving loop, so it must never run on a round hook.
+	ticks := make(chan struct{}, 16)
+	scalerDone := make(chan struct{})
+	scale := func() {
+		defer close(scalerDone)
+		for range ticks {
+			load := fleet.Load()
+			switch n := fleet.Shards(); {
+			case n < 3 && load > 5: // the morning rush outgrows two small shards
+				fmt.Printf("   ⇡ %d consultations waiting — opening a third shard\n", load)
+				if err := fleet.Resize(3); err != nil {
+					log.Fatal(err)
+				}
+			case n > 2 && load <= 3: // clinic emptying: consolidate
+				fmt.Printf("   ⇣ %d consultations left — draining the extra shard\n", load)
+				if err := fleet.Resize(2); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
 	ring := serve.NewRingSink(64)
 	var err error
 	fleet, err = serve.New(
 		serve.WithPlatforms(mkPlatform(), mkPlatform()),
 		serve.WithShardCapacity(4),
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
-		serve.WithAdmission(core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16}),
+		serve.WithAdmission(core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16, RecoverAfterRounds: 3}),
 		serve.WithSink(ring),
 		serve.WithRoundHook(func(shard int, out *core.GOPOutcome) {
 			fmt.Printf("shard %d round %2d: served %d users on %d cores, %.1f W",
@@ -94,11 +120,16 @@ func main() {
 			if submitted == arrivals {
 				fleet.Close()
 			}
+			select {
+			case ticks <- struct{}{}:
+			default:
+			}
 		}),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	go scale()
 
 	for i := 0; i < upfront; i++ {
 		if err := submit(); err != nil {
@@ -111,6 +142,8 @@ func main() {
 
 	start := time.Now()
 	rep, err := fleet.Run(context.Background())
+	close(ticks)
+	<-scalerDone
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +156,15 @@ func main() {
 	if e, tiles := ring.Report(-1).MeanEstimateErr(0); tiles > 0 {
 		fmt.Printf("mean stage-D1 estimate error %.1f%% over %d tiles (ring sink)\n", 100*e, tiles)
 	}
+	if added, removed := ring.Resizes(); added+removed > 0 {
+		fmt.Printf("elasticity: %d shard(s) opened, %d drained, %d consultation(s) migrated mid-stream\n",
+			added, removed, ring.Migrations())
+	}
 	for _, sr := range rep.Shards {
-		fmt.Printf("shard %d: %d rounds, completed %v\n", sr.Shard, sr.Report.Rounds, sr.Report.Completed)
+		if sr.Report == nil {
+			continue
+		}
+		fmt.Printf("shard %d: %d rounds, completed %v, migrated away %v\n",
+			sr.Shard, sr.Report.Rounds, sr.Report.Completed, sr.Report.Migrated)
 	}
 }

@@ -35,6 +35,16 @@ type AdmissionConfig struct {
 	// MaxQueueRounds is how many consecutive rounds a fully-degraded
 	// session may wait for admission before being rejected (0 → 8).
 	MaxQueueRounds int
+	// RecoverAfterRounds enables rate-rung recovery: a rate-halved
+	// session returns to full rate (Session.RestoreRate) once the
+	// platform has held spare allocation headroom for it — no session
+	// refused, spare cores ≥ the session's own demand — for this many
+	// consecutive rounds. Any round without headroom resets the count
+	// (hysteresis against flapping). 0 (the default) leaves recovery
+	// off: HalveRate stays one-way, the historical behavior. Recovery
+	// runs whenever it is non-zero, even with Enabled false, so manually
+	// halved sessions (tests, external policies) recover too.
+	RecoverAfterRounds int
 }
 
 // withDefaults fills the zero values.
@@ -129,6 +139,13 @@ func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
 	// sessions at the end of the ladder accumulate it and time out.
 	var timedOut []int
 	s.mu.Lock()
+	for _, rs := range live {
+		// Remember each competitor's core demand — the headroom bar its
+		// rate-rung recovery must clear on the rounds it sits out.
+		if d, ok := alloc.DemandCores[rs.rec.sess.ID]; ok {
+			rs.rec.lastDemand = d
+		}
+	}
 	for _, id := range alloc.Admitted {
 		byID[id].rec.waited = 0
 	}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Session migration: the GOP-boundary handoff of a live session from one
+// shard to another, the mechanism behind fleet elasticity (internal/serve
+// drains a shard before removing it and re-homes its sessions).
+//
+// The protocol is three calls, all on the donor/target *Server:
+//
+//	Drain()           — the donor's serving loop stops at the next GOP
+//	                    boundary (between rounds every session sits at
+//	                    one) and Run returns with the sessions still
+//	                    queued;
+//	ExportSessions()  — every non-terminal session leaves the donor as a
+//	                    SessionSnapshot (its record flips to
+//	                    StateMigrated);
+//	Import(snap)      — the target adopts the snapshot under a fresh
+//	                    shard-local id, re-binding the session to the
+//	                    target's per-class workload LUT.
+//
+// The snapshot names the serving state explicitly — frame cursor, QP
+// offset, tiling degradation, rate halving, queue bookkeeping — and
+// carries the live *Session for the heavyweight encoder state (the
+// reconstructed reference frames, the QP adapter, the motion policy).
+// The handoff is in-process: ownership of the Session transfers with the
+// snapshot and exactly one server drives it at any time, so the encoded
+// bitstream continues bit-identically from where the donor stopped.
+// Cross-process migration would additionally serialize the encoder
+// reference state; the snapshot struct is the seam where that would go.
+
+// SessionSnapshot is one session's exportable serving state, produced by
+// ExportSessions at a GOP boundary and consumed by Import on the target
+// shard.
+type SessionSnapshot struct {
+	// Session is the live session; ownership transfers with the snapshot
+	// (the donor must not touch it again).
+	Session *Session
+	// Class is the session's workload class — the routing key, and the
+	// name of the per-class LUT the target re-binds the session to.
+	Class string
+	// DonorID is the shard-local id the session had on the donor (ids do
+	// not survive migration; Import assigns a fresh one).
+	DonorID int
+	// Frame is the next-frame cursor — always a GOP boundary (or the end
+	// of the video).
+	Frame int
+	// QPOffset, Degraded and RateHalved mirror the admission ladder's
+	// service-level degradations (Session.SetQPOffset, Degrade,
+	// HalveRate); they ride inside the Session and are surfaced here so
+	// the target's record (and tests) can see them without poking the
+	// session.
+	QPOffset   int
+	Degraded   bool
+	RateHalved bool
+	// Rung, Waited and SkipRound are the donor record's admission-ladder
+	// bookkeeping: the highest rung applied, the consecutive rounds
+	// waited after the ladder ran out, and whether the session owes a
+	// sit-out round for rate halving. Import restores them so a migrated
+	// session neither re-degrades from scratch nor forgets a pending
+	// skip.
+	Rung, Waited int
+	SkipRound    bool
+}
+
+// Drain asks the serving loop to stop at the next GOP boundary: Run
+// returns (cleanly, with its report) before serving another round, with
+// every non-terminal session still queued — ready for ExportSessions.
+// Between rounds every session sits at a GOP boundary (a round serves
+// whole GOPs), so draining never cuts a GOP in half. Safe from any
+// goroutine; a server that is not running drains trivially.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.wake()
+}
+
+// isDraining reports whether Drain was requested.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ExportSessions removes every non-terminal session from the server and
+// returns their snapshots in ascending donor-id order. Each exported
+// record transitions to StateMigrated (observable through StateOf and
+// the OnSessionState hook); the sessions themselves transfer to the
+// caller, who must hand each to exactly one target's Import (or fail it
+// via FailSession). It fails without exporting anything if a Run is
+// active, or if any live session is stranded mid-GOP (only possible
+// after a cancelled Run, whose server must not be reused anyway).
+func (s *Server) ExportSessions() ([]*SessionSnapshot, error) {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: ExportSessions while Run is active")
+	}
+	// Validate before mutating: an export is all-or-nothing.
+	for id, rec := range s.records {
+		if rec.state == StateQueued && !rec.sess.AtGOPBoundary() {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: session %d is mid-GOP (frame %d) — cannot export", id, rec.sess.NextFrame())
+		}
+	}
+	var snaps []*SessionSnapshot
+	var ids []int
+	for id, rec := range s.records {
+		if rec.state != StateQueued {
+			continue
+		}
+		sess := rec.sess
+		snaps = append(snaps, &SessionSnapshot{
+			Session:    sess,
+			Class:      sess.Class(),
+			DonorID:    id,
+			Frame:      sess.NextFrame(),
+			QPOffset:   sess.QPOffset(),
+			Degraded:   sess.Degraded(),
+			RateHalved: sess.RateHalved(),
+			Rung:       rec.rung,
+			Waited:     rec.waited,
+			SkipRound:  rec.skipRound,
+		})
+		rec.state = StateMigrated
+		rec.sess = nil // ownership transferred; a stale reference is a bug
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.notifyState(id, StateMigrated, nil)
+	}
+	return snaps, nil
+}
+
+// Import adopts a session exported from another shard: the session gets
+// a fresh shard-local id, is re-bound to this server's per-class
+// workload LUT (its estimates now come from — and its observations feed
+// — the target's store), and joins the arrival queue with its
+// admission-ladder state intact. Import works on a Closed server: Close
+// seals the queue against *new* sessions, but a migrated session was
+// already admitted to the service and only changes shards. Safe from any
+// goroutine, including while Run is serving.
+func (s *Server) Import(snap *SessionSnapshot) (*Session, error) {
+	if snap == nil || snap.Session == nil {
+		return nil, fmt.Errorf("core: nil session snapshot")
+	}
+	sess := snap.Session
+	if !sess.AtGOPBoundary() {
+		return nil, fmt.Errorf("core: snapshot of session mid-GOP (frame %d)", sess.NextFrame())
+	}
+	s.mu.Lock()
+	lut := s.store.ForClass(snap.Class)
+	sess.adopt(len(s.records), lut, s.cfg.Workers)
+	s.records = append(s.records, &sessionRecord{
+		sess:      sess,
+		lut:       lut,
+		rung:      snap.Rung,
+		waited:    snap.Waited,
+		skipRound: snap.SkipRound,
+		imported:  true,
+	})
+	s.mu.Unlock()
+	s.wake()
+	s.notifyState(sess.ID, StateQueued, nil)
+	return sess, nil
+}
+
+// Imported reports how many of the server's sessions were adopted from
+// other shards (Import) rather than submitted here. Safe from any
+// goroutine.
+func (s *Server) Imported() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rec := range s.records {
+		if rec.imported {
+			n++
+		}
+	}
+	return n
+}
+
+// FailSession departs one session as StateFailed with err — the
+// migration layer's dead-letter path for a snapshot no live shard would
+// accept. It applies to queued sessions and to exported (StateMigrated)
+// records whose snapshot could not be placed; terminal sessions are left
+// alone (an error reports the refusal). Like Abort it must not race a
+// serving goroutine.
+func (s *Server) FailSession(id int, err error) error {
+	if err == nil {
+		err = fmt.Errorf("core: session failed")
+	}
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return fmt.Errorf("core: FailSession while Run is active")
+	}
+	if id < 0 || id >= len(s.records) {
+		s.mu.Unlock()
+		return fmt.Errorf("core: no session %d", id)
+	}
+	rec := s.records[id]
+	if rec.state != StateQueued && rec.state != StateMigrated {
+		st := rec.state
+		s.mu.Unlock()
+		return fmt.Errorf("core: session %d is %v, not failable", id, st)
+	}
+	rec.state = StateFailed
+	rec.err = err
+	s.mu.Unlock()
+	s.notifyState(id, StateFailed, err)
+	return nil
+}

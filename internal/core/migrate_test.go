@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/medgen"
+	"repro/internal/mpsoc"
+)
+
+// newMigrationServer builds a plain test server.
+func newMigrationServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Platform: mpsoc.XeonE5_2667V4(), FPS: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// gopDigests collects one session's GOP digests in index order from a
+// set of outcomes.
+func gopDigests(outs []*GOPOutcome, id int) []uint64 {
+	var digests []uint64
+	for _, out := range outs {
+		if gop := out.GOPs[id]; gop != nil {
+			digests = append(digests, gop.Digest)
+		}
+	}
+	return digests
+}
+
+// TestMigrationRoundTripBitIdentical is the core acceptance property: a
+// session served partly on one server and — after a GOP-boundary
+// export/import — partly on another produces exactly the frames and
+// bitstream digests of the same session served on one server throughout.
+func TestMigrationRoundTripBitIdentical(t *testing.T) {
+	const frames = 16 // 4 GOPs of 4
+
+	// Control: the whole video on one server.
+	control := newMigrationServer(t)
+	if _, err := control.Submit(testSource(t, medgen.Brain, medgen.Rotate, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	controlOuts, err := control.ServeAll(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gopDigests(controlOuts, 0)
+	if len(want) != 4 {
+		t.Fatalf("control served %d GOPs, want 4", len(want))
+	}
+
+	// Migrated: two GOP rounds on the donor, then export → import, then
+	// the rest on the target.
+	donor := newMigrationServer(t)
+	if _, err := donor.Submit(testSource(t, medgen.Brain, medgen.Rotate, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	var donorOuts []*GOPOutcome
+	for i := 0; i < 2; i++ {
+		out, err := donor.ServeGOP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		donorOuts = append(donorOuts, out)
+	}
+	snaps, err := donor.ExportSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("exported %d sessions, want 1", len(snaps))
+	}
+	snap := snaps[0]
+	if snap.Class != "brain" || snap.DonorID != 0 || snap.Frame != 8 {
+		t.Fatalf("snapshot %+v, want class brain, donor id 0, frame 8", snap)
+	}
+	if st, ok := donor.StateOf(0); !ok || st != StateMigrated {
+		t.Fatalf("donor state %v after export, want migrated", st)
+	}
+	if donor.Load() != 0 {
+		t.Fatalf("donor load %d after export", donor.Load())
+	}
+	if donor.Sessions()[0] != nil {
+		t.Fatal("donor still exposes the migrated session")
+	}
+
+	target := newMigrationServer(t)
+	// Occupy an id on the target so the migrated session gets a fresh one.
+	if _, err := target.Submit(testSource(t, medgen.Chest, medgen.Pan, 4), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := target.Import(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID != 1 {
+		t.Fatalf("imported session id %d, want fresh shard-local 1", sess.ID)
+	}
+	// The target's store now owns the class binding.
+	if target.Store().ForClass("brain") == nil {
+		t.Fatal("target store has no brain LUT")
+	}
+	targetOuts, err := target.ServeAll(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(gopDigests(donorOuts, 0), gopDigests(targetOuts, 1)...)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("migrated digest chain %v != control %v", got, want)
+	}
+	// Zero lost frames: both target sessions finish.
+	if st, _ := target.StateOf(1); st != StateCompleted {
+		t.Fatalf("migrated session state %v, want completed", st)
+	}
+}
+
+// TestMigrationCarriesDegradationState: a session mid-degradation (QP
+// offset, uniform tiling, halved rate, pending skip) migrates with its
+// ladder state intact — the target neither resets nor re-applies it.
+func TestMigrationCarriesDegradationState(t *testing.T) {
+	donor := newMigrationServer(t)
+	sess, err := donor.Submit(testSource(t, medgen.Chest, medgen.Sweep, 12), testSessionConfig(ModeProposed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Degrade(); err != nil {
+		t.Fatal(err)
+	}
+	sess.SetQPOffset(8)
+	sess.HalveRate()
+	if _, err := donor.ServeGOP(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := donor.ExportSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snaps[0]
+	if !snap.Degraded || snap.QPOffset != 8 || !snap.RateHalved || !snap.SkipRound {
+		t.Fatalf("snapshot lost ladder state: %+v", snap)
+	}
+
+	target := newMigrationServer(t)
+	got, err := target.Import(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded() || got.QPOffset() != 8 || !got.RateHalved() {
+		t.Fatal("imported session lost its degradations")
+	}
+	// The pending skip survives: the session sits out the target's first
+	// round. A second full-rate session keeps the round from falling back
+	// to serving the skipper.
+	if _, err := target.Submit(testSource(t, medgen.Brain, medgen.Still, 12), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := target.ServeGOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range out.AdmittedUsers {
+		if id == got.ID {
+			t.Fatal("imported session served in the round it owed as a rate-halving skip")
+		}
+	}
+	target.Close()
+	rep, err := target.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 2 || rep.Imported != 1 {
+		t.Fatalf("report %+v, want both completed with one import", rep)
+	}
+}
+
+// TestExportImportContract: the protocol's edges — export refuses to
+// race a Run, import refuses mid-GOP and nil snapshots but accepts a
+// closed server, and FailSession is the dead-letter path for an
+// unplaceable snapshot.
+func TestExportImportContract(t *testing.T) {
+	srv := newMigrationServer(t)
+	if _, err := srv.Import(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain an idle Run via the GOP-boundary stop, then export.
+	srv.Drain()
+	if _, err := srv.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := srv.ExportSessions()
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("export after drained Run: %v, %d snaps", err, len(snaps))
+	}
+
+	// Import onto a closed server succeeds: Close seals the queue against
+	// new arrivals, not against relocations.
+	target := newMigrationServer(t)
+	target.Close()
+	if _, err := target.Import(snaps[0]); err != nil {
+		t.Fatalf("import refused by closed server: %v", err)
+	}
+	rep, err := target.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 1 || rep.Imported != 1 {
+		t.Fatalf("closed target did not serve the import: %+v", rep)
+	}
+
+	// FailSession: only queued/migrated records can be failed.
+	other := newMigrationServer(t)
+	if _, err := other.Submit(testSource(t, medgen.Chest, medgen.Pan, 4), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.FailSession(5, fmt.Errorf("nope")); err == nil {
+		t.Fatal("FailSession accepted an unknown id")
+	}
+	if err := other.FailSession(0, fmt.Errorf("unplaceable")); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := other.StateOf(0); st != StateFailed {
+		t.Fatalf("state %v after FailSession", st)
+	}
+	if err := other.FailSession(0, fmt.Errorf("again")); err == nil {
+		t.Fatal("FailSession re-failed a terminal session")
+	}
+}

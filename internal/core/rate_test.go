@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/medgen"
 	"repro/internal/mpsoc"
+	"repro/internal/sched"
 )
 
 // TestHalveRateServesEveryOtherRound: a rate-halved session encodes a GOP,
@@ -106,6 +107,160 @@ func TestAdmissionLadderReachesRateRung(t *testing.T) {
 	}
 	if rep.FramesEncoded != 2*8 {
 		t.Fatalf("frames encoded %d, want %d", rep.FramesEncoded, 2*8)
+	}
+}
+
+// TestRateRungRecovery: with RecoverAfterRounds set, a rate-halved
+// session returns to full rate once the platform has held spare headroom
+// for it over K consecutive rounds — and stays at full rate afterwards
+// while the platform remains clean (no flapping back and forth).
+func TestRateRungRecovery(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Platform:  mpsoc.XeonE5_2667V4(),
+		FPS:       24,
+		Admission: AdmissionConfig{RecoverAfterRounds: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 16), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	halved, err := srv.Submit(testSource(t, medgen.Chest, medgen.Pan, 16), testSessionConfig(ModeProposed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	halved.HalveRate()
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 2 {
+		t.Fatalf("completed %v, want both", rep.Completed)
+	}
+	if halved.RateHalved() {
+		t.Fatal("session still rate-halved despite sustained headroom")
+	}
+	var halvedRounds, recoveredAt []int
+	for _, out := range rep.Outcomes {
+		for _, id := range out.AdmittedUsers {
+			if id == halved.ID {
+				halvedRounds = append(halvedRounds, out.Round)
+			}
+		}
+		for _, id := range out.Recovered {
+			if id == halved.ID {
+				recoveredAt = append(recoveredAt, out.Round)
+			}
+		}
+	}
+	// Round 0 serves the session (headroom 1), round 1 it sits out
+	// (headroom 2 → recovery), rounds 2–4 it serves every round again.
+	if fmt.Sprint(recoveredAt) != "[1]" {
+		t.Fatalf("recovered at rounds %v, want exactly [1]", recoveredAt)
+	}
+	if fmt.Sprint(halvedRounds) != "[0 2 3 4]" {
+		t.Fatalf("halved session served in rounds %v, want [0 2 3 4]", halvedRounds)
+	}
+	if rep.FramesEncoded != 2*16 {
+		t.Fatalf("frames %d, want %d — recovery lost frames", rep.FramesEncoded, 2*16)
+	}
+}
+
+// TestRateRecoveryHysteresisCounter pins the no-flap rule at the unit
+// level: headroom rounds must be consecutive — one dirty round (a
+// rejection, or spare cores below the session's demand) resets the
+// count, and recovery fires only at exactly K.
+func TestRateRecoveryHysteresisCounter(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Platform:  mpsoc.XeonE5_2667V4(), // 32 cores
+		FPS:       24,
+		Admission: AdmissionConfig{RecoverAfterRounds: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.Submit(testSource(t, medgen.Brain, medgen.Still, 8), testSessionConfig(ModeProposed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.HalveRate()
+	srv.records[0].lastDemand = 4
+
+	clean := func() *GOPOutcome {
+		return &GOPOutcome{Allocation: &sched.Result{CoresUsed: 8}} // spare 24 ≥ 4
+	}
+	step := func(out *GOPOutcome) []int {
+		srv.recoverRates(out)
+		return out.Recovered
+	}
+
+	if got := step(clean()); len(got) != 0 || srv.records[0].headroom != 1 {
+		t.Fatalf("after 1 clean round: recovered %v headroom %d", got, srv.records[0].headroom)
+	}
+	step(clean())
+	// A rejection resets the streak.
+	if step(&GOPOutcome{Allocation: &sched.Result{CoresUsed: 8, Rejected: []int{99}}}); srv.records[0].headroom != 0 {
+		t.Fatalf("rejection did not reset headroom: %d", srv.records[0].headroom)
+	}
+	step(clean())
+	step(clean())
+	// Spare cores below the session's demand also reset.
+	if step(&GOPOutcome{Allocation: &sched.Result{CoresUsed: 30}}); srv.records[0].headroom != 0 {
+		t.Fatalf("thin spare did not reset headroom: %d", srv.records[0].headroom)
+	}
+	step(clean())
+	step(clean())
+	if sess.RateHalved() != true {
+		t.Fatal("recovered before K consecutive headroom rounds — flapping")
+	}
+	if got := step(clean()); fmt.Sprint(got) != "[0]" || sess.RateHalved() {
+		t.Fatalf("third consecutive headroom round: recovered %v, halved %v", got, sess.RateHalved())
+	}
+	// Once restored, clean rounds are a no-op until the ladder halves the
+	// session again.
+	if got := step(clean()); len(got) != 0 {
+		t.Fatalf("recovery fired again on a full-rate session: %v", got)
+	}
+}
+
+// TestRateRecoveryHoldsUnderPressure: on a saturated platform even the
+// most aggressive recovery setting (K=1) never un-halves — spare cores
+// stay below the session's demand while it shares the platform, so the
+// hysteresis keeps the rate down and the cadence stable.
+func TestRateRecoveryHoldsUnderPressure(t *testing.T) {
+	p := mpsoc.XeonE5_2667V4()
+	p.Cores = 2
+	srv, err := NewServer(ServerConfig{
+		Platform:  p,
+		FPS:       24,
+		Admission: AdmissionConfig{Enabled: true, MaxQueueRounds: 64, RecoverAfterRounds: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, motion := range []medgen.MotionKind{medgen.Rotate, medgen.Pan} {
+		cfg := testSessionConfig(ModeProposed)
+		cfg.TimeModel = flatModel(2500 * time.Microsecond)
+		if _, err := srv.Submit(testSource(t, medgen.Brain, motion, 8), cfg); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Completed) != 2 {
+		t.Fatalf("completed %v rejected %v failed %v", rep.Completed, rep.Rejected, rep.Failed)
+	}
+	victim := srv.Sessions()[1]
+	if !victim.RateHalved() {
+		t.Fatal("saturated platform un-halved the victim — recovery flapped under pressure")
+	}
+	if rep.FramesEncoded != 2*8 {
+		t.Fatalf("frames %d, want %d", rep.FramesEncoded, 2*8)
 	}
 }
 

@@ -45,13 +45,19 @@ type ServerConfig struct {
 	// In the concurrent serving loop each session's budget instead comes
 	// from the cores the allocator assigned to it that round.
 	Workers int
-	// TimeScale calibrates measured host encode times to the simulated
-	// platform: thread CPU-time estimates are multiplied by this factor
-	// before allocation and energy simulation. The paper measured Kvazaar
-	// (2017) on an E5-2667; this repository's leaner Go encoder on a
-	// modern host is substantially faster per frame, so experiments set
-	// TimeScale so that per-user demand lands in the paper's regime
-	// (~1.5–4 cores per user). 0 or 1 disables scaling.
+	// TimeScale maps stage-D1 *estimates* onto the simulated platform's
+	// time base: each per-tile LUT prediction is multiplied by this
+	// factor as it is handed to the allocator, so the scaled value flows
+	// into admission, core planning and (through the resulting plans)
+	// the slot energy simulation. It does not touch what the LUT stores:
+	// raw measurements are recorded unscaled, and the calibration EWMA
+	// (CalibrationConfig) corrects those stored values independently —
+	// TimeScale bridges host-vs-platform speed, Calibrate tracks drift
+	// within the host. The paper measured Kvazaar (2017) on an E5-2667;
+	// this repository's leaner Go encoder on a modern host is
+	// substantially faster per frame, so experiments set TimeScale so
+	// that per-user demand lands in the paper's regime (~1.5–4 cores per
+	// user). 0 or 1 disables scaling.
 	TimeScale float64
 	// Sequential serves admitted sessions one after another with the
 	// fixed Workers budget — the pre-concurrency reference path. Encoded
@@ -98,6 +104,11 @@ const (
 	// StateFailed means the session's encode failed; the service dropped
 	// it and kept serving the others.
 	StateFailed
+	// StateMigrated means the session left this shard through
+	// ExportSessions (fleet resize/drain): it is terminal *for this
+	// shard* — the session lives on under a new id on the shard that
+	// imported it.
+	StateMigrated
 )
 
 // String names the state.
@@ -111,6 +122,8 @@ func (s SessionState) String() string {
 		return "rejected"
 	case StateFailed:
 		return "failed"
+	case StateMigrated:
+		return "migrated"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -134,6 +147,19 @@ type sessionRecord struct {
 	// the next round: set after each GOP it is served, cleared when the
 	// skip is taken, so the session encodes every other GOP.
 	skipRound bool
+	// imported marks a session adopted from another shard (Server.Import)
+	// rather than submitted here — the fleet subtracts these when it
+	// counts unique sessions across shards.
+	imported bool
+	// headroom counts consecutive rounds the platform had spare
+	// allocation capacity for this rate-halved session (rate-rung
+	// recovery, AdmissionConfig.RecoverAfterRounds). Reset to zero by any
+	// round without headroom — the hysteresis that prevents flapping.
+	headroom int
+	// lastDemand is the session's core demand the last round it competed
+	// (sched.Result.DemandCores) — the headroom bar its recovery must
+	// clear.
+	lastDemand int
 }
 
 // Server serves many transcoding sessions on one platform: each GOP it
@@ -157,7 +183,10 @@ type Server struct {
 	records []*sessionRecord
 	closed  bool
 	running bool
-	rounds  int
+	// draining makes Run return at the next GOP boundary with the
+	// sessions still queued (see Drain/ExportSessions in migrate.go).
+	draining bool
+	rounds   int
 	// arrival wakes an idle Run loop when Submit or Close changes what
 	// there is to do.
 	arrival chan struct{}
@@ -305,7 +334,8 @@ func (s *Server) wake() {
 // order. The returned slice is a copy — mutating it cannot corrupt server
 // state — but the *Session values are live: while the server is serving,
 // only ID, Config and the read-only accessors are safe to use from other
-// goroutines.
+// goroutines. A session that migrated away (StateMigrated) leaves a nil
+// slot: it belongs to another shard now.
 func (s *Server) Sessions() []*Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -346,6 +376,10 @@ type GOPOutcome struct {
 	// TimedOut lists sessions whose queue deadline expired this round —
 	// the admission ladder rejected them for good.
 	TimedOut []int
+	// Recovered lists rate-halved sessions restored to full rate this
+	// round (ascending) — the platform held spare allocation headroom for
+	// them over AdmissionConfig.RecoverAfterRounds consecutive rounds.
+	Recovered []int
 	// EstimateErr is the round's mean relative stage-D1 estimation error:
 	// |estimate − measured| / measured averaged over the EstimateTiles
 	// admitted tiles with a positive measurement, where the estimate is
@@ -492,10 +526,50 @@ func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, er
 	}
 
 	s.settleRound(byID, out, sessErrs)
+	s.recoverRates(out)
 	s.mu.Lock()
 	s.rounds++
 	s.mu.Unlock()
 	return out, sessErrs, nil
+}
+
+// recoverRates is the rate-rung recovery pass (the reverse of the
+// admission ladder's HalveRate): after a settled round, every rate-halved
+// live session accumulates one headroom round when nobody was refused
+// service this round and the platform kept enough spare cores to absorb
+// the session's own demand on the rounds it currently sits out. Once a
+// session has RecoverAfterRounds consecutive headroom rounds it is
+// restored to full rate (Session.RestoreRate, reported in
+// GOPOutcome.Recovered); any round without headroom resets the count —
+// the hysteresis that keeps a borderline platform from flapping between
+// half and full rate. Disabled when RecoverAfterRounds is 0.
+func (s *Server) recoverRates(out *GOPOutcome) {
+	k := s.cfg.Admission.RecoverAfterRounds
+	if k <= 0 {
+		return
+	}
+	spare := s.cfg.Platform.Cores - out.Allocation.CoresUsed
+	clean := len(out.Allocation.Rejected) == 0 && len(out.TimedOut) == 0
+	s.mu.Lock()
+	for _, rec := range s.records {
+		if rec.state != StateQueued || !rec.sess.RateHalved() {
+			continue
+		}
+		if !clean || rec.lastDemand <= 0 || spare < rec.lastDemand {
+			rec.headroom = 0
+			continue
+		}
+		rec.headroom++
+		if rec.headroom < k {
+			continue
+		}
+		rec.sess.RestoreRate()
+		rec.skipRound = false
+		rec.headroom = 0
+		out.Recovered = append(out.Recovered, rec.sess.ID)
+	}
+	s.mu.Unlock()
+	sort.Ints(out.Recovered)
 }
 
 // estimate runs stages A–C (when needed) and D1 for one live session,

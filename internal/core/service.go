@@ -19,6 +19,14 @@ type ServiceReport struct {
 	// state (ascending). Sessions still queued when Run returned early
 	// (cancellation, round error) appear in none of them.
 	Completed, Rejected, Failed []int
+	// Migrated lists sessions that left this shard through
+	// ExportSessions (ascending donor ids); they live on under new ids
+	// on the shards that imported them.
+	Migrated []int
+	// Imported counts sessions adopted from other shards (Import) —
+	// they are included in Submitted, so fleet-wide unique sessions are
+	// the sum over shards of Submitted − Imported.
+	Imported int
 	// FramesEncoded and GOPReports count the work actually delivered
 	// across all rounds; a lossless service has GOPReports equal to the
 	// sum of its completed sessions' GOP counts.
@@ -68,9 +76,13 @@ func (s *Server) finalize(r *ServiceReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r.Submitted = len(s.records)
-	r.Completed, r.Rejected, r.Failed = nil, nil, nil
+	r.Completed, r.Rejected, r.Failed, r.Migrated = nil, nil, nil, nil
+	r.Imported = 0
 	r.Errors = make(map[int]error)
 	for id, rec := range s.records {
+		if rec.imported {
+			r.Imported++
+		}
 		switch rec.state {
 		case StateCompleted:
 			r.Completed = append(r.Completed, id)
@@ -79,6 +91,8 @@ func (s *Server) finalize(r *ServiceReport) {
 		case StateFailed:
 			r.Failed = append(r.Failed, id)
 			r.Errors[id] = rec.err
+		case StateMigrated:
+			r.Migrated = append(r.Migrated, id)
 		}
 	}
 }
@@ -107,9 +121,11 @@ func (s *Server) isClosed() bool {
 // and depart on completion, failure, admission timeout or cancellation —
 // and blocks while the queue is empty but still open. It returns when the
 // server has been Closed and every submitted session reached a terminal
-// state, when ctx is cancelled, or on a round-level error (allocator or
-// platform failure, or nobody admitted with the admission ladder
-// disabled). The report covers everything served up to that point.
+// state, when ctx is cancelled, when Drain asks it to stop at the next
+// GOP boundary (sessions stay queued, ready for ExportSessions), or on a
+// round-level error (allocator or platform failure, or nobody admitted
+// with the admission ladder disabled). The report covers everything
+// served up to that point.
 //
 // A single session's encode failure does not stop the service: the
 // session departs as StateFailed and its error is collected; the other
@@ -137,6 +153,12 @@ func (s *Server) Run(ctx context.Context) (*ServiceReport, error) {
 		if err := ctx.Err(); err != nil {
 			s.finalize(rep)
 			return rep, err
+		}
+		if s.isDraining() {
+			// Drain: stop at the GOP boundary with the sessions still
+			// queued — the caller exports them (see migrate.go).
+			s.finalize(rep)
+			return rep, nil
 		}
 		if !s.hasServable() {
 			if s.isClosed() {

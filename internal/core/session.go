@@ -288,13 +288,44 @@ func (s *Session) Degraded() bool { return s.degraded }
 // the server serves this session every other GOP round, so it receives
 // half the service frame rate instead of starving in the queue. The
 // session's encoded output is unaffected — only the serving cadence
-// changes — so the degradation is reversible in principle, but like the
-// other ladder rungs this implementation never un-degrades.
+// changes — so the degradation is reversible: RestoreRate (driven by the
+// server's headroom-based recovery, AdmissionConfig.RecoverAfterRounds)
+// returns the session to full rate.
 func (s *Session) HalveRate() { s.rateHalved = true }
+
+// RestoreRate undoes HalveRate: the session is served every round again.
+// The server applies it once the platform has shown spare allocation
+// headroom for enough consecutive rounds (the rate-rung recovery
+// hysteresis); nothing stops the ladder from halving the rate again if
+// the platform saturates later.
+func (s *Session) RestoreRate() { s.rateHalved = false }
 
 // RateHalved reports whether the admission ladder has halved the
 // session's service frame rate.
 func (s *Session) RateHalved() bool { return s.rateHalved }
+
+// Class returns the session's workload class (the routing and LUT key).
+func (s *Session) Class() string { return s.src.Class() }
+
+// AtGOPBoundary reports whether the next frame starts a new GOP (or the
+// video is finished) — the only positions a session may migrate from.
+func (s *Session) AtGOPBoundary() bool {
+	return s.Finished() || s.cfg.Codec.FrameInGOP(s.frame) == 0
+}
+
+// adopt re-homes the session on a new server during migration: a fresh
+// shard-local id, the target's per-class workload LUT (estimates and
+// observations now flow through the target's store), and the target's
+// fallback worker budget. Everything else — encoder reference state, QP
+// adapter, motion policy, degradations — rides along untouched, so the
+// encoded bitstream continues bit-identically.
+func (s *Session) adopt(id int, lut *workload.LUT, workers int) {
+	s.ID = id
+	s.lut = lut
+	if workers > 0 {
+		s.cfg.Workers = workers
+	}
+}
 
 // Degrade switches the session to the uniform fallback tiling (the
 // admission ladder's first rung, applied to newcomers when the platform

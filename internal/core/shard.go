@@ -33,6 +33,20 @@ type Shard interface {
 	Store() *workload.Store
 	// Abort fails every non-terminal session (dispatcher give-up).
 	Abort(err error) ([]int, error)
+
+	// The migration surface (see migrate.go): Drain stops the serving
+	// loop at the next GOP boundary with the sessions still queued,
+	// ExportSessions hands them out as snapshots, Import adopts a
+	// snapshot from another shard, and FailSession is the dead-letter
+	// path for a snapshot no shard would take. ExportSessions and
+	// FailSession must not overlap a Run; Drain and Import are safe from
+	// any goroutine.
+	Drain()
+	ExportSessions() ([]*SessionSnapshot, error)
+	Import(snap *SessionSnapshot) (*Session, error)
+	FailSession(id int, err error) error
+	// Imported counts sessions adopted from other shards.
+	Imported() int
 }
 
 var _ Shard = (*Server)(nil)

@@ -31,13 +31,18 @@ type hashRing struct {
 	points []ringPoint
 }
 
-// newHashRing builds the ring for shards 0..n-1.
-func newHashRing(n, replicas int) *hashRing {
+// newHashRing builds the ring over an explicit member set — the live
+// shard indices. An elastic fleet rebuilds the ring on every resize;
+// because a shard's virtual points depend only on its own index, adding
+// or removing a member never moves the other members' points: a class
+// changes home only if its arc is taken over by an added shard or owned
+// by a removed one.
+func newHashRing(members []int, replicas int) *hashRing {
 	if replicas <= 0 {
 		replicas = ringReplicas
 	}
-	r := &hashRing{points: make([]ringPoint, 0, n*replicas)}
-	for shard := 0; shard < n; shard++ {
+	r := &hashRing{points: make([]ringPoint, 0, len(members)*replicas)}
+	for _, shard := range members {
 		for rep := 0; rep < replicas; rep++ {
 			h := hash64(fmt.Sprintf("shard/%d/%d", shard, rep))
 			r.points = append(r.points, ringPoint{hash: h, shard: shard})
@@ -54,8 +59,20 @@ func newHashRing(n, replicas int) *hashRing {
 	return r
 }
 
-// shardFor maps a key to its home shard.
+// seqMembers returns [0, 1, ..., n-1] — the member set of a fresh fleet.
+func seqMembers(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// shardFor maps a key to its home shard (-1 on an empty ring).
 func (r *hashRing) shardFor(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
 	h := hash64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {

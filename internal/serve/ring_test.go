@@ -8,7 +8,7 @@ import (
 // TestRingDeterministic: the same fleet size always yields the same
 // routing — serving decisions must be reproducible.
 func TestRingDeterministic(t *testing.T) {
-	a, b := newHashRing(5, 0), newHashRing(5, 0)
+	a, b := newHashRing(seqMembers(5), 0), newHashRing(seqMembers(5), 0)
 	for i := 0; i < 200; i++ {
 		key := fmt.Sprintf("class-%d", i)
 		if a.shardFor(key) != b.shardFor(key) {
@@ -25,8 +25,8 @@ func TestRingDeterministic(t *testing.T) {
 func TestRingStabilityUnderShardCountChange(t *testing.T) {
 	const keys = 1000
 	for _, n := range []int{2, 3, 5, 8} {
-		old := newHashRing(n, 0)
-		grown := newHashRing(n+1, 0)
+		old := newHashRing(seqMembers(n), 0)
+		grown := newHashRing(seqMembers(n+1), 0)
 		moved := 0
 		for i := 0; i < keys; i++ {
 			key := fmt.Sprintf("class-%d", i)
@@ -50,12 +50,35 @@ func TestRingStabilityUnderShardCountChange(t *testing.T) {
 	}
 }
 
+// TestRingStabilityUnderMemberRemoval is the shrink-side counterpart:
+// removing one member from an arbitrary member set only moves the keys
+// that member owned — every surviving shard keeps its classes, so a
+// drained shard's LUT heat is the only heat that has to move.
+func TestRingStabilityUnderMemberRemoval(t *testing.T) {
+	const keys = 1000
+	full := newHashRing([]int{0, 1, 2, 3}, 0)
+	shrunk := newHashRing([]int{0, 1, 3}, 0) // shard 2 drained away
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("class-%d", i)
+		was, now := full.shardFor(key), shrunk.shardFor(key)
+		if was != 2 && was != now {
+			t.Fatalf("key %q moved %d→%d though only shard 2 was removed", key, was, now)
+		}
+		if now == 2 {
+			t.Fatalf("key %q still routed to the removed shard", key)
+		}
+	}
+	if got := newHashRing(nil, 0).shardFor("anything"); got != -1 {
+		t.Fatalf("empty ring routed to %d, want -1", got)
+	}
+}
+
 // TestRingBalance: virtual points keep the per-shard key share within a
 // sane factor of uniform.
 func TestRingBalance(t *testing.T) {
 	const keys = 3000
 	const shards = 4
-	r := newHashRing(shards, 0)
+	r := newHashRing(seqMembers(shards), 0)
 	counts := make([]int, shards)
 	for i := 0; i < keys; i++ {
 		counts[r.shardFor(fmt.Sprintf("class-%d", i))]++

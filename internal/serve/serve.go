@@ -190,31 +190,65 @@ func WithMaxRestarts(n int) Option {
 }
 
 // Fleet is the multi-shard serving front door. Build with New, feed with
-// Submit, drive with Run, stop with Close (drain) or context
-// cancellation (abort).
+// Submit, drive with Run, scale with Resize, stop with Close (drain) or
+// context cancellation (abort).
 //
-// Concurrency: Submit, Close, Load, HomeShard and SaveLUTs are safe from
-// any goroutine; Run must be called once at a time.
+// Concurrency: Submit, Close, Resize, Load, Loads, Shards, HomeShard and
+// SaveLUTs are safe from any goroutine; Run must be called once at a
+// time. Resize must not be called from a round hook or a sink — a shard
+// being drained cannot wait for its own serving goroutine; give the
+// autoscaler its own goroutine.
 type Fleet struct {
-	opts   options
-	ring   *hashRing
-	shards []*shardState
+	opts options
+	// proto is the platform prototype shards added by Resize run on: the
+	// WithPlatform argument, the first WithPlatforms entry, or the
+	// default Xeon.
+	proto *mpsoc.Platform
+	// seed is the loaded WithLUTStore snapshot (nil without one); every
+	// shard — including ones added later — starts from its own clone.
+	seed *workload.Store
 
 	// sinkMu serializes sink delivery fleet-wide (the Sink contract).
 	sinkMu sync.Mutex
 
-	mu      sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond // signals supervisor-count changes to Run
+	ring *hashRing
+	// shards only ever grows; a removed shard keeps its slot (indices
+	// are stable identities in telemetry) with removed set.
+	shards []*shardState
+	// reports accumulates per-shard outcomes across supervisor
+	// incarnations and resizes, keyed by shard index.
+	reports map[int]*ShardReport
+	// active counts live supervisor goroutines; Run returns at zero.
+	active  int
 	running bool
 	closed  bool
+	runCtx  context.Context
+
+	// resizeMu serializes Resize calls (a resize blocks until its
+	// migrations land; overlapping resizes would fight over victims).
+	resizeMu sync.Mutex
 }
 
-// shardState tracks one shard through the fleet's lifetime.
+// shardState tracks one shard through the fleet's lifetime. All flags
+// are guarded by Fleet.mu.
 type shardState struct {
 	index int
 	srv   core.Shard
-	// dead is set (under Fleet.mu) when the supervisor gave up on the
-	// shard; routing skips dead shards.
+	// dead: the supervisor gave the shard up; routing skips it.
 	dead bool
+	// draining: a Resize is removing the shard; routing skips it, its
+	// sessions are being handed to their new home shards.
+	draining bool
+	// removed: the drain finished; the shard is gone for good.
+	removed bool
+	// supervising: a supervisor goroutine currently owns the shard's
+	// serving loop.
+	supervising bool
+	// migrated is closed exactly once, when the shard's drain completes
+	// (or is abandoned by cancellation) — what Resize blocks on.
+	migrated chan struct{}
 }
 
 // New validates the options and builds the fleet's shards.
@@ -271,46 +305,71 @@ func New(opts ...Option) (*Fleet, error) {
 		}
 	}
 
-	f := &Fleet{opts: o, ring: newHashRing(n, o.replicas)}
+	f := &Fleet{
+		opts:    o,
+		seed:    seed,
+		ring:    newHashRing(seqMembers(n), o.replicas),
+		reports: make(map[int]*ShardReport),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.proto = o.platform
+	if f.proto == nil {
+		if o.platforms != nil {
+			f.proto = o.platforms[0]
+		} else {
+			f.proto = mpsoc.XeonE5_2667V4()
+		}
+	}
 	for i := 0; i < n; i++ {
 		name := o.allocator
 		if over, ok := o.shardAllocator[i]; ok {
 			name = over
 		}
-		alloc, err := o.registry.MustLookup(name)
+		shard, err := f.newShardState(i, platforms[i], name)
 		if err != nil {
 			return nil, err
 		}
-		var store *workload.Store
-		if seed != nil {
-			store = seed.Clone()
-		}
-		shard := &shardState{index: i}
-		srv, err := core.NewServer(core.ServerConfig{
-			Platform:    platforms[i],
-			FPS:         o.fps,
-			Allocator:   core.AllocatorFunc(alloc),
-			TimeScale:   o.timeScale,
-			Calibration: o.calibration,
-			Admission:   o.admission,
-			Store:       store,
-			OnRound: func(out *core.GOPOutcome) {
-				f.dispatchRound(shard.index, out)
-				if o.roundHook != nil {
-					o.roundHook(shard.index, out)
-				}
-			},
-			OnSessionState: func(id int, state core.SessionState, err error) {
-				f.dispatchState(shard.index, id, state, err)
-			},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
-		}
-		shard.srv = srv
 		f.shards = append(f.shards, shard)
 	}
 	return f, nil
+}
+
+// newShardState builds one shard: a core.Server on the given platform
+// with the fleet's configuration and the telemetry hooks wired to the
+// sink dispatch.
+func (f *Fleet) newShardState(index int, platform *mpsoc.Platform, allocName string) (*shardState, error) {
+	alloc, err := f.opts.registry.MustLookup(allocName)
+	if err != nil {
+		return nil, err
+	}
+	var store *workload.Store
+	if f.seed != nil {
+		store = f.seed.Clone()
+	}
+	shard := &shardState{index: index, migrated: make(chan struct{})}
+	srv, err := core.NewServer(core.ServerConfig{
+		Platform:    platform,
+		FPS:         f.opts.fps,
+		Allocator:   core.AllocatorFunc(alloc),
+		TimeScale:   f.opts.timeScale,
+		Calibration: f.opts.calibration,
+		Admission:   f.opts.admission,
+		Store:       store,
+		OnRound: func(out *core.GOPOutcome) {
+			f.dispatchRound(shard.index, out)
+			if f.opts.roundHook != nil {
+				f.opts.roundHook(shard.index, out)
+			}
+		},
+		OnSessionState: func(id int, state core.SessionState, err error) {
+			f.dispatchState(shard.index, id, state, err)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: shard %d: %w", index, err)
+	}
+	shard.srv = srv
+	return shard, nil
 }
 
 // clonePlatform copies a platform so shards never share mutable state.
@@ -320,12 +379,70 @@ func clonePlatform(p *mpsoc.Platform) *mpsoc.Platform {
 	return &cp
 }
 
-// Shards returns the number of shards.
-func (f *Fleet) Shards() int { return len(f.shards) }
+// routable reports whether the shard accepts routed sessions.
+func (s *shardState) routable() bool { return !s.dead && !s.draining && !s.removed }
 
-// HomeShard returns the shard the consistent-hash ring assigns a
-// workload class to (before load-based fallback).
-func (f *Fleet) HomeShard(class string) int { return f.ring.shardFor(class) }
+// liveCountLocked counts the routable shards. Callers hold f.mu.
+func (f *Fleet) liveCountLocked() int {
+	n := 0
+	for _, s := range f.shards {
+		if s.routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuildRingLocked rebuilds the consistent-hash ring over the routable
+// shards. Callers hold f.mu.
+func (f *Fleet) rebuildRingLocked() {
+	var members []int
+	for _, s := range f.shards {
+		if s.routable() {
+			members = append(members, s.index)
+		}
+	}
+	f.ring = newHashRing(members, f.opts.replicas)
+}
+
+// Shards returns the number of live (routable) shards.
+func (f *Fleet) Shards() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.liveCountLocked()
+}
+
+// HomeShard returns the shard the consistent-hash ring currently assigns
+// a workload class to (before load-based fallback); -1 when no shard is
+// routable.
+func (f *Fleet) HomeShard(class string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.shardFor(class)
+}
+
+// Loads reports every shard's live-session count, indexed by shard
+// index; a shard that is gone (removed, draining or given up) reports
+// -1. This is the autoscaler's — and the tests' — window into per-shard
+// load without reaching into shard internals.
+func (f *Fleet) Loads() []int {
+	f.mu.Lock()
+	shards := append([]*shardState(nil), f.shards...)
+	routable := make([]bool, len(shards))
+	for i, s := range shards {
+		routable[i] = s.routable()
+	}
+	f.mu.Unlock()
+	out := make([]int, len(shards))
+	for i, s := range shards {
+		if !routable[i] {
+			out[i] = -1
+			continue
+		}
+		out[i] = s.srv.Load()
+	}
+	return out
+}
 
 // Placement identifies where a submitted session landed.
 type Placement struct {
@@ -337,17 +454,20 @@ type Placement struct {
 
 // Submit routes a session to its class's home shard, falling back to the
 // least-loaded shard when the home shard is saturated (WithShardCapacity),
-// dead, or refuses the submission. Safe from any goroutine, including
-// round hooks — but not from Sink methods, which run under the sink
-// dispatch lock that Submit's own state notification needs (see the Sink
-// contract). Fails when every shard refuses.
+// dead, draining, or refuses the submission. Safe from any goroutine,
+// including round hooks — but not from Sink methods, which run under the
+// sink dispatch lock that Submit's own state notification needs (see the
+// Sink contract). Fails when every shard refuses.
 func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement, error) {
 	if src == nil {
 		return Placement{}, errors.New("serve: nil frame source")
 	}
+	f.mu.Lock()
+	home := f.ring.shardFor(src.Class())
+	f.mu.Unlock()
 	var lastErr error
-	for _, si := range f.routeOrder(f.ring.shardFor(src.Class())) {
-		sess, err := f.shards[si].srv.Submit(src, cfg)
+	for _, si := range f.routeOrder(home) {
+		sess, err := f.shardAt(si).srv.Submit(src, cfg)
 		if err == nil {
 			return Placement{Shard: si, Session: sess}, nil
 		}
@@ -359,32 +479,38 @@ func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement,
 	return Placement{}, fmt.Errorf("serve: submit: %w", lastErr)
 }
 
+// shardAt returns the shard with the given index.
+func (f *Fleet) shardAt(i int) *shardState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards[i]
+}
+
 // routeOrder returns the shard indices to try: the home shard first —
-// unless it is dead or at capacity — then the remaining live shards in
-// ascending (load, index) order.
+// unless it is unroutable or at capacity — then the remaining routable
+// shards in ascending (load, index) order.
 func (f *Fleet) routeOrder(home int) []int {
 	type cand struct {
 		index int
 		load  int
 	}
 	f.mu.Lock()
-	dead := make([]bool, len(f.shards))
-	for i, s := range f.shards {
-		dead[i] = s.dead
+	shards := append([]*shardState(nil), f.shards...)
+	routable := make([]bool, len(shards))
+	for i, s := range shards {
+		routable[i] = s.routable()
 	}
 	f.mu.Unlock()
 
 	var rest []cand
-	order := make([]int, 0, len(f.shards))
-	homeOK := !dead[home] && (f.opts.capacity <= 0 || f.shards[home].srv.Load() < f.opts.capacity)
+	order := make([]int, 0, len(shards))
+	homeOK := home >= 0 && home < len(shards) && routable[home] &&
+		(f.opts.capacity <= 0 || shards[home].srv.Load() < f.opts.capacity)
 	if homeOK {
 		order = append(order, home)
 	}
-	for i, s := range f.shards {
-		if i == home && homeOK {
-			continue
-		}
-		if dead[i] {
+	for i, s := range shards {
+		if (i == home && homeOK) || !routable[i] {
 			continue
 		}
 		rest = append(rest, cand{index: i, load: s.srv.Load()})
@@ -402,13 +528,15 @@ func (f *Fleet) routeOrder(home int) []int {
 }
 
 // Close closes every shard's arrival queue: no further Submit succeeds
-// and Run returns once the submitted sessions drain. Safe to call from
-// any goroutine, more than once.
+// and Run returns once the submitted sessions drain. Shards added by a
+// later Resize are born closed. Safe to call from any goroutine, more
+// than once.
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	f.closed = true
+	shards := append([]*shardState(nil), f.shards...)
 	f.mu.Unlock()
-	for _, s := range f.shards {
+	for _, s := range shards {
 		s.srv.Close()
 	}
 }
@@ -423,7 +551,7 @@ type ShardReport struct {
 	// Restarts counts serving-loop restarts the supervisor performed.
 	Restarts int
 	// Err is the terminal serving error of a shard that was given up (nil
-	// for a clean drain or cancellation).
+	// for a clean drain, a removal, or cancellation).
 	Err error
 	// Aborted lists the sessions failed by the give-up (ascending).
 	Aborted []int
@@ -432,12 +560,16 @@ type ShardReport struct {
 // Report aggregates a fleet Run.
 type Report struct {
 	Shards []ShardReport
-	// Fleet-wide aggregates over all shards.
-	Rounds        int
-	Submitted     int
-	Completed     int
-	Rejected      int
-	Failed        int
+	// Fleet-wide aggregates over all shards. Submitted counts unique
+	// sessions: one that migrated between shards is submitted once, no
+	// matter how many shards served it.
+	Rounds    int
+	Submitted int
+	Completed int
+	Rejected  int
+	Failed    int
+	// Migrated counts session migration hops performed by resizes.
+	Migrated      int
 	FramesEncoded int
 	GOPReports    int
 	Energy        mpsoc.Totals
@@ -449,10 +581,12 @@ type Report struct {
 // survive, the other shards never notice — up to WithMaxRestarts times;
 // past that the shard is given up: its queue closes, its unserved
 // sessions fail (the sink sees each failure), and the rest of the fleet
-// keeps serving. Run returns the aggregated report with ctx.Err() after
-// cancellation, an error when every shard died, and nil otherwise (check
-// ShardReport.Err for partial failures). With WithLUTStore, a Run that
-// ends without cancellation saves the merged LUT store.
+// keeps serving. Resize adds supervisors for grown shards and retires
+// the drained ones mid-flight. Run returns the aggregated report with
+// ctx.Err() after cancellation, an error when every shard died, and nil
+// otherwise (check ShardReport.Err for partial failures). With
+// WithLUTStore, a Run that ends without cancellation saves the merged
+// LUT store.
 func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 	f.mu.Lock()
 	if f.running {
@@ -460,23 +594,30 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 		return nil, errors.New("serve: Run already active")
 	}
 	f.running = true
-	f.mu.Unlock()
-	defer func() {
-		f.mu.Lock()
-		f.running = false
-		f.mu.Unlock()
-	}()
-
-	reports := make([]ShardReport, len(f.shards))
-	var wg sync.WaitGroup
+	f.runCtx = ctx
 	for _, s := range f.shards {
-		wg.Add(1)
-		go func(s *shardState) {
-			defer wg.Done()
-			reports[s.index] = f.supervise(ctx, s)
-		}(s)
+		if s.routable() && !s.supervising {
+			f.startSupervisorLocked(ctx, s)
+		}
 	}
-	wg.Wait()
+	for f.active > 0 {
+		f.cond.Wait()
+	}
+	f.running = false
+	f.runCtx = nil
+	reports := make([]ShardReport, len(f.shards))
+	removed := 0
+	for i, s := range f.shards {
+		if r := f.reports[i]; r != nil {
+			reports[i] = *r
+		} else {
+			reports[i] = ShardReport{Shard: i}
+		}
+		if s.removed {
+			removed++
+		}
+	}
+	f.mu.Unlock()
 
 	rep := &Report{Shards: reports}
 	deadShards := 0
@@ -488,10 +629,11 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 			continue
 		}
 		rep.Rounds += sr.Report.Rounds
-		rep.Submitted += sr.Report.Submitted
+		rep.Submitted += sr.Report.Submitted - sr.Report.Imported
 		rep.Completed += len(sr.Report.Completed)
 		rep.Rejected += len(sr.Report.Rejected)
 		rep.Failed += len(sr.Report.Failed)
+		rep.Migrated += len(sr.Report.Migrated)
 		rep.FramesEncoded += sr.Report.FramesEncoded
 		rep.GOPReports += sr.Report.GOPReports
 		addTotals(&rep.Energy, sr.Report.Energy)
@@ -504,18 +646,87 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 			return rep, err
 		}
 	}
-	if deadShards == len(f.shards) && len(f.shards) > 0 {
-		return rep, fmt.Errorf("serve: all %d shards failed, first: %w", deadShards, reports[0].Err)
+	// "Every shard died" is judged over the shards that could still
+	// serve: slots retired by a clean Resize drain don't count either way.
+	if serving := len(reports) - removed; deadShards == serving && serving > 0 {
+		first := error(nil)
+		for _, sr := range reports {
+			if sr.Err != nil {
+				first = sr.Err
+				break
+			}
+		}
+		return rep, fmt.Errorf("serve: all %d serving shards failed, first: %w", deadShards, first)
 	}
 	return rep, nil
 }
 
-// supervise drives one shard's serving loop with restart-on-error.
+// startSupervisorLocked launches the supervisor goroutine for one shard.
+// Callers hold f.mu.
+func (f *Fleet) startSupervisorLocked(ctx context.Context, s *shardState) {
+	s.supervising = true
+	f.active++
+	go func() {
+		for {
+			sr := f.supervise(ctx, s)
+			f.mu.Lock()
+			f.mergeReportLocked(sr)
+			// Exit when the shard is finished — but not while it is
+			// draining un-removed (the next supervise pass completes the
+			// drain), and not when sessions slipped into the queue while
+			// the loop was stopping (an Import racing a clean close; the
+			// next pass serves them).
+			exit := s.dead || s.removed || ctx.Err() != nil ||
+				(!s.draining && s.srv.Load() == 0)
+			release := exit && s.draining && !s.removed
+			if exit {
+				s.supervising = false
+				f.active--
+				f.cond.Broadcast()
+			}
+			f.mu.Unlock()
+			if release {
+				// An abnormal exit (give-up, cancellation) on a draining
+				// shard: unblock the Resize waiting for the drain.
+				f.markRemoved(s)
+			}
+			if exit {
+				return
+			}
+		}
+	}()
+}
+
+// mergeReportLocked folds one supervisor pass's report into the shard's
+// accumulated report. Callers hold f.mu.
+func (f *Fleet) mergeReportLocked(sr ShardReport) {
+	dst := f.reports[sr.Shard]
+	if dst == nil {
+		cp := sr
+		f.reports[sr.Shard] = &cp
+		return
+	}
+	mergeServiceReport(dst, sr.Report)
+	dst.Restarts += sr.Restarts
+	if sr.Err != nil {
+		dst.Err = sr.Err
+	}
+	dst.Aborted = append(dst.Aborted, sr.Aborted...)
+}
+
+// supervise drives one shard's serving loop with restart-on-error and
+// drain handling.
 func (f *Fleet) supervise(ctx context.Context, s *shardState) ShardReport {
 	sr := ShardReport{Shard: s.index}
 	for {
 		rep, err := s.srv.Run(ctx)
 		mergeServiceReport(&sr, rep)
+		if f.isDrainingShard(s) {
+			// A Resize is removing this shard: migrate its sessions and
+			// retire it, whatever the loop returned.
+			f.finishDrain(s, &sr, ctx)
+			return sr
+		}
 		switch {
 		case err == nil:
 			return sr
@@ -544,6 +755,221 @@ func (f *Fleet) supervise(ctx context.Context, s *shardState) ShardReport {
 	}
 }
 
+// isDrainingShard reads the shard's draining flag.
+func (f *Fleet) isDrainingShard(s *shardState) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return s.draining
+}
+
+// markRemoved retires a draining shard, closing its migrated channel
+// exactly once (what Resize blocks on).
+func (f *Fleet) markRemoved(s *shardState) {
+	f.mu.Lock()
+	already := s.removed
+	s.removed = true
+	f.mu.Unlock()
+	if !already {
+		close(s.migrated)
+	}
+}
+
+// finishDrain completes a shard's removal: exports its sessions at the
+// GOP boundary the drained loop stopped on, hands the per-class
+// estimation LUTs to each class's new home, imports every session into
+// its new shard (home first, least-loaded fallback), and retires the
+// shard. Runs on the shard's supervisor goroutine while the fleet is
+// running, or on the Resize caller's goroutine otherwise — never both.
+func (f *Fleet) finishDrain(s *shardState, sr *ShardReport, ctx context.Context) {
+	if ctx != nil && ctx.Err() != nil {
+		// The fleet is being cancelled: nobody is left to serve a
+		// migrated session, so just retire the shard.
+		f.markRemoved(s)
+		return
+	}
+	snaps, err := s.srv.ExportSessions()
+	if err != nil {
+		// Unexportable sessions (mid-GOP strays after a cancelled Run, or
+		// a racing serving loop): fail them loudly rather than stranding
+		// them in a shard that is going away.
+		if ids, aerr := s.srv.Abort(fmt.Errorf("serve: shard %d drain: %w", s.index, err)); aerr == nil {
+			sr.Aborted = append(sr.Aborted, ids...)
+		}
+	}
+
+	// Hand the donor's estimation state to each class's new home before
+	// the sessions land there, so their first post-migration round
+	// estimates from the donor's calibrated LUTs instead of cold tables.
+	donor := s.srv.Store()
+	for _, class := range donor.Classes() {
+		if ti := f.HomeShard(class); ti >= 0 {
+			f.shardAt(ti).srv.Store().MergeClass(donor, class)
+		}
+	}
+
+	targets := make(map[int]bool)
+	for _, snap := range snaps {
+		placed := false
+		for _, ti := range f.routeOrder(f.HomeShard(snap.Class)) {
+			if ti == s.index {
+				continue
+			}
+			sess, ierr := f.shardAt(ti).srv.Import(snap)
+			if ierr != nil {
+				continue
+			}
+			f.dispatchMigration(MigrationEvent{
+				FromShard:   s.index,
+				FromSession: snap.DonorID,
+				ToShard:     ti,
+				ToSession:   sess.ID,
+				Class:       snap.Class,
+				Frame:       snap.Frame,
+			})
+			targets[ti] = true
+			placed = true
+			break
+		}
+		if !placed {
+			_ = s.srv.FailSession(snap.DonorID, fmt.Errorf(
+				"serve: no shard would adopt session %d migrating off shard %d", snap.DonorID, s.index))
+		}
+	}
+
+	// Wake or revive the adopters: a target whose supervisor already
+	// returned (a closed fleet drains shards as they empty) gets a fresh
+	// one so the imported sessions are served.
+	f.mu.Lock()
+	for ti := range targets {
+		t := f.shards[ti]
+		if f.running && t.routable() && !t.supervising {
+			f.startSupervisorLocked(f.runCtx, t)
+		}
+	}
+	// The draining shard already left the routable set when the Resize
+	// marked it, so the live count needs no adjustment.
+	live := f.liveCountLocked()
+	f.mu.Unlock()
+
+	// Export and failure happened after the drained Run's finalize;
+	// refresh the terminal lists so the shard report tells the truth.
+	refreshStates(sr, s.srv)
+	f.dispatchShardRemoved(ShardEvent{Shard: s.index, Live: live})
+	f.markRemoved(s)
+}
+
+// Resize grows or shrinks the fleet to n live shards, while Run is live
+// or between runs. Growing builds fresh shards on copies of the fleet's
+// prototype platform and splices them into the consistent-hash ring:
+// only the classes whose arc the new shards take over move home (their
+// LUT state is copied across so they stay warm); everything else keeps
+// serving undisturbed, and new supervisors join a live Run. Shrinking
+// removes the highest-indexed live shards: each victim leaves the ring
+// (new arrivals route around it), drains at the next GOP boundary, and
+// hands its live sessions — with their admission-ladder state and their
+// classes' calibrated LUTs — to their new home shards; Resize returns
+// once every victim's sessions have landed. Zero frames are lost and a
+// migrated session's bitstream continues bit-identically.
+//
+// Resize must not be called from a round hook or a sink: draining a
+// shard waits for that shard's serving goroutine, which is the goroutine
+// hooks run on. Call it from its own goroutine (an autoscaler loop).
+func (f *Fleet) Resize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("serve: resize to %d shards", n)
+	}
+	f.resizeMu.Lock()
+	defer f.resizeMu.Unlock()
+
+	f.mu.Lock()
+	var live []*shardState
+	for _, s := range f.shards {
+		if s.routable() {
+			live = append(live, s)
+		}
+	}
+	delta := n - len(live)
+	if delta == 0 {
+		f.mu.Unlock()
+		return nil
+	}
+
+	if delta > 0 {
+		start := len(f.shards)
+		added := make([]*shardState, 0, delta)
+		for i := 0; i < delta; i++ {
+			st, err := f.newShardState(start+i, clonePlatform(f.proto), f.opts.allocator)
+			if err != nil {
+				f.mu.Unlock()
+				return err
+			}
+			added = append(added, st)
+		}
+		f.shards = append(f.shards, added...)
+		f.rebuildRingLocked()
+		// Warm handoff for the classes that moved: copy each such class's
+		// LUT from its old home into the new shard, so routing's promise —
+		// resizes keep the LUTs warm — holds for the moved classes too.
+		for _, st := range added {
+			for _, os := range live {
+				for _, class := range os.srv.Store().Classes() {
+					if f.ring.shardFor(class) == st.index {
+						st.srv.Store().MergeClass(os.srv.Store(), class)
+					}
+				}
+			}
+		}
+		closed := f.closed
+		if f.running {
+			for _, st := range added {
+				f.startSupervisorLocked(f.runCtx, st)
+			}
+		}
+		liveN := f.liveCountLocked()
+		f.mu.Unlock()
+		if closed {
+			for _, st := range added {
+				st.srv.Close()
+			}
+		}
+		for _, st := range added {
+			f.dispatchShardAdded(ShardEvent{Shard: st.index, Live: liveN})
+		}
+		return nil
+	}
+
+	// Shrink: retire the highest-indexed live shards.
+	sort.Slice(live, func(a, b int) bool { return live[a].index > live[b].index })
+	victims := live[:-delta]
+	for _, v := range victims {
+		v.draining = true
+	}
+	f.rebuildRingLocked()
+	supervised := make(map[*shardState]bool, len(victims))
+	for _, v := range victims {
+		supervised[v] = v.supervising
+	}
+	f.mu.Unlock()
+
+	for _, v := range victims {
+		// Seal the victim against stragglers (migration Imports bypass
+		// Close) and stop its loop at the next GOP boundary.
+		v.srv.Close()
+		v.srv.Drain()
+		if supervised[v] {
+			// The victim's supervisor completes the drain and migration.
+			<-v.migrated
+		} else {
+			sr := ShardReport{Shard: v.index}
+			f.finishDrain(v, &sr, nil)
+			f.mu.Lock()
+			f.mergeReportLocked(sr)
+			f.mu.Unlock()
+		}
+	}
+	return nil
+}
+
 // mergeServiceReport folds one Run's report into the shard report:
 // counters and outcomes accumulate across restarts, the terminal-state
 // snapshot is replaced by the newer one.
@@ -562,25 +988,32 @@ func mergeServiceReport(sr *ShardReport, rep *core.ServiceReport) {
 	dst.Outcomes = append(dst.Outcomes, rep.Outcomes...)
 	addTotals(&dst.Energy, rep.Energy)
 	dst.Submitted = rep.Submitted
+	dst.Imported = rep.Imported
 	dst.Completed = rep.Completed
 	dst.Rejected = rep.Rejected
 	dst.Failed = rep.Failed
+	dst.Migrated = rep.Migrated
 	dst.Errors = rep.Errors
 }
 
-// refreshStates re-derives the terminal-state lists from the shard's
-// live session states (after an Abort).
+// refreshStates re-derives the session counts and terminal-state lists
+// from the shard's live session states (after an Abort or a migration,
+// both of which land after the last Run's finalize — or on a shard that
+// was drained before it ever ran).
 func refreshStates(sr *ShardReport, srv core.Shard) {
 	if sr.Report == nil {
 		sr.Report = &core.ServiceReport{}
 	}
 	rep := sr.Report
-	rep.Completed, rep.Rejected, rep.Failed = nil, nil, nil
+	rep.Completed, rep.Rejected, rep.Failed, rep.Migrated = nil, nil, nil, nil
+	rep.Submitted = 0
+	rep.Imported = srv.Imported()
 	for id := 0; ; id++ {
 		st, ok := srv.StateOf(id)
 		if !ok {
 			break
 		}
+		rep.Submitted++
 		switch st {
 		case core.StateCompleted:
 			rep.Completed = append(rep.Completed, id)
@@ -588,6 +1021,8 @@ func refreshStates(sr *ShardReport, srv core.Shard) {
 			rep.Rejected = append(rep.Rejected, id)
 		case core.StateFailed:
 			rep.Failed = append(rep.Failed, id)
+		case core.StateMigrated:
+			rep.Migrated = append(rep.Migrated, id)
 		}
 	}
 }
@@ -611,7 +1046,10 @@ func (f *Fleet) SaveLUTs() error {
 		return nil
 	}
 	merged := workload.NewStore()
-	for _, s := range f.shards {
+	f.mu.Lock()
+	shards := append([]*shardState(nil), f.shards...)
+	f.mu.Unlock()
+	for _, s := range shards {
 		merged.Merge(s.srv.Store())
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(f.opts.lutPath), ".luts-*")
@@ -636,8 +1074,10 @@ func (f *Fleet) SaveLUTs() error {
 // queue depths).
 func (f *Fleet) Load() int {
 	n := 0
-	for _, s := range f.shards {
-		n += s.srv.Load()
+	for _, l := range f.Loads() {
+		if l > 0 {
+			n += l
+		}
 	}
 	return n
 }
@@ -669,4 +1109,34 @@ func (f *Fleet) dispatchRound(shard int, out *core.GOPOutcome) {
 		f.opts.sink.OnGOP(GOPEvent{Shard: shard, Session: id, Round: out.Round, GOP: out.GOPs[id]})
 	}
 	f.opts.sink.OnRoundMetrics(RoundEvent{Shard: shard, Outcome: out})
+}
+
+// dispatchMigration delivers a session-migration event to the sink.
+func (f *Fleet) dispatchMigration(e MigrationEvent) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	f.opts.sink.OnSessionMigrated(e)
+}
+
+// dispatchShardAdded delivers a shard-added event to the sink.
+func (f *Fleet) dispatchShardAdded(e ShardEvent) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	f.opts.sink.OnShardAdded(e)
+}
+
+// dispatchShardRemoved delivers a shard-removed event to the sink.
+func (f *Fleet) dispatchShardRemoved(e ShardEvent) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	f.opts.sink.OnShardRemoved(e)
 }

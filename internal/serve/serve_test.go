@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -158,16 +159,53 @@ func TestFleetSubmitRefusedEverywhere(t *testing.T) {
 	}
 }
 
-// recordingSink captures every event for assertions.
+// recordingSink captures every event for assertions. The On* path is
+// serialized by the fleet; the mutex covers test-goroutine reads.
 type recordingSink struct {
-	gops   []GOPEvent
-	states []SessionEvent
-	rounds []RoundEvent
+	mu         sync.Mutex
+	gops       []GOPEvent
+	states     []SessionEvent
+	rounds     []RoundEvent
+	added      []ShardEvent
+	removed    []ShardEvent
+	migrations []MigrationEvent
 }
 
-func (r *recordingSink) OnGOP(e GOPEvent)                    { r.gops = append(r.gops, e) }
-func (r *recordingSink) OnSessionStateChange(e SessionEvent) { r.states = append(r.states, e) }
-func (r *recordingSink) OnRoundMetrics(e RoundEvent)         { r.rounds = append(r.rounds, e) }
+func (r *recordingSink) OnGOP(e GOPEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gops = append(r.gops, e)
+}
+
+func (r *recordingSink) OnSessionStateChange(e SessionEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states = append(r.states, e)
+}
+
+func (r *recordingSink) OnRoundMetrics(e RoundEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rounds = append(r.rounds, e)
+}
+
+func (r *recordingSink) OnShardAdded(e ShardEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.added = append(r.added, e)
+}
+
+func (r *recordingSink) OnShardRemoved(e ShardEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removed = append(r.removed, e)
+}
+
+func (r *recordingSink) OnSessionMigrated(e MigrationEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.migrations = append(r.migrations, e)
+}
 
 // TestShardCrashIsolation is the kill-one-shard acceptance criterion: a
 // shard whose serving loop dies for good takes only its own sessions

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mpsoc"
@@ -35,6 +36,31 @@ type RoundEvent struct {
 	Outcome *core.GOPOutcome
 }
 
+// ShardEvent reports a fleet membership change (Resize).
+type ShardEvent struct {
+	// Shard is the index of the shard that joined or left.
+	Shard int
+	// Live is the number of routable shards after the change.
+	Live int
+}
+
+// MigrationEvent reports one session's GOP-boundary handoff between
+// shards during a resize. Session ids are shard-local: the session that
+// was (FromShard, FromSession) is (ToShard, ToSession) from now on — a
+// sink stitching a session's telemetry across shards joins on this
+// event.
+type MigrationEvent struct {
+	FromShard   int
+	FromSession int
+	ToShard     int
+	ToSession   int
+	// Class is the session's workload class (the routing key).
+	Class string
+	// Frame is the session's next-frame cursor — the GOP boundary it
+	// migrated at.
+	Frame int
+}
+
 // Sink receives the fleet's streaming telemetry. It replaces the
 // grow-forever ServiceReport as the service-level observation channel: a
 // sink sees every event as it happens and decides what to keep, so a
@@ -59,11 +85,35 @@ type RoundEvent struct {
 // limits as everywhere. Close is the one permitted call. Churn-driven
 // callers inject arrivals through WithRoundHook, which runs after the
 // round's sink delivery with no sink lock held.
+//
+// Elasticity events (Fleet.Resize, DESIGN.md §9): OnShardAdded arrives
+// after the new shard is routable, from the Resize caller's goroutine.
+// A removal delivers, from the draining shard's supervisor goroutine
+// (or the Resize caller's when the fleet is idle), in order: one
+// StateMigrated OnSessionStateChange per exported session on the donor,
+// then per migrated session a StateQueued OnSessionStateChange on the
+// target followed by the OnSessionMigrated linking the two ids, then
+// one OnShardRemoved — all after the donor's final round settled, so a
+// session's donor-side GOPs always precede its migration event.
 type Sink interface {
 	OnGOP(e GOPEvent)
 	OnSessionStateChange(e SessionEvent)
 	OnRoundMetrics(e RoundEvent)
+	OnShardAdded(e ShardEvent)
+	OnShardRemoved(e ShardEvent)
+	OnSessionMigrated(e MigrationEvent)
 }
+
+// NopSink implements every Sink method as a no-op — embed it to build a
+// sink that only cares about some events.
+type NopSink struct{}
+
+func (NopSink) OnGOP(GOPEvent)                    {}
+func (NopSink) OnSessionStateChange(SessionEvent) {}
+func (NopSink) OnRoundMetrics(RoundEvent)         {}
+func (NopSink) OnShardAdded(ShardEvent)           {}
+func (NopSink) OnShardRemoved(ShardEvent)         {}
+func (NopSink) OnSessionMigrated(MigrationEvent)  {}
 
 // MultiSink fans every event out to each sink in order.
 func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
@@ -85,6 +135,24 @@ func (m multiSink) OnSessionStateChange(e SessionEvent) {
 func (m multiSink) OnRoundMetrics(e RoundEvent) {
 	for _, s := range m {
 		s.OnRoundMetrics(e)
+	}
+}
+
+func (m multiSink) OnShardAdded(e ShardEvent) {
+	for _, s := range m {
+		s.OnShardAdded(e)
+	}
+}
+
+func (m multiSink) OnShardRemoved(e ShardEvent) {
+	for _, s := range m {
+		s.OnShardRemoved(e)
+	}
+}
+
+func (m multiSink) OnSessionMigrated(e MigrationEvent) {
+	for _, s := range m {
+		s.OnSessionMigrated(e)
 	}
 }
 
@@ -110,6 +178,10 @@ type RingSink struct {
 	frames     int
 	gopReports int
 	energy     mpsoc.Totals
+
+	migrations    int
+	shardsAdded   int
+	shardsRemoved int
 
 	states map[[2]int]core.SessionState // (shard, session) → latest state
 	errs   map[[2]int]error
@@ -168,6 +240,38 @@ func (s *RingSink) OnRoundMetrics(e RoundEvent) {
 	s.total++
 }
 
+func (s *RingSink) OnShardAdded(ShardEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardsAdded++
+}
+
+func (s *RingSink) OnShardRemoved(ShardEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shardsRemoved++
+}
+
+func (s *RingSink) OnSessionMigrated(MigrationEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.migrations++
+}
+
+// Migrations reports how many session-migration hops the sink saw.
+func (s *RingSink) Migrations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.migrations
+}
+
+// Resizes reports how many shards were added and removed.
+func (s *RingSink) Resizes() (added, removed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shardsAdded, s.shardsRemoved
+}
+
 // Dropped reports how many round outcomes fell out of the ring (0 while
 // the service fits).
 func (s *RingSink) Dropped() int {
@@ -210,6 +314,14 @@ func (s *RingSink) Report(shard int) *core.ServiceReport {
 		return keys[i][1] < keys[j][1]
 	})
 	for _, k := range keys {
+		// A migrated key is the donor-side shadow of a session that lives
+		// on under its target key: the target's StateQueued (and later
+		// terminal) entry represents the session, so counting the shadow
+		// too would double-count it.
+		if s.states[k] == core.StateMigrated {
+			rep.Migrated = append(rep.Migrated, k[1])
+			continue
+		}
 		rep.Submitted++
 		switch s.states[k] {
 		case core.StateCompleted:
@@ -232,20 +344,120 @@ func (s *RingSink) Report(shard int) *core.ServiceReport {
 	return rep
 }
 
+// JSONLPolicy selects what a buffered JSONLSink does when its buffer is
+// full: block the serving goroutine until the writer catches up (no data
+// loss) or drop the line and count it (no serving stall, ever).
+type JSONLPolicy int
+
+const (
+	// JSONLBlock waits for buffer space — telemetry is complete, but a
+	// writer slower than the event rate eventually stalls serving.
+	JSONLBlock JSONLPolicy = iota
+	// JSONLDrop discards the line when the buffer is full and counts it
+	// (Dropped) — serving never waits on the writer.
+	JSONLDrop
+)
+
 // JSONLSink streams every event as one JSON line — the wire format for
 // shipping fleet telemetry into a log pipeline instead of process memory.
 // Events are flattened to stable scalar fields (no frame payloads, no
 // pointers), so lines stay small and parseable regardless of GOP size.
 //
-// Safe for concurrent use; each line is written atomically under a lock.
+// NewJSONLSink writes synchronously under a lock: simple, lossless, and
+// fine for a file — but a slow writer (a blocking network pipe) holds
+// the lock, and through the fleet's serialized sink dispatch that stalls
+// every serving goroutine. NewBufferedJSONLSink decouples them: events
+// marshal on the serving goroutine into a bounded buffer a dedicated
+// writer goroutine drains, with a JSONLPolicy choosing block-or-drop
+// when the buffer fills. Call Close to flush and stop the writer.
 type JSONLSink struct {
 	mu  sync.Mutex
-	enc *json.Encoder
+	enc *json.Encoder // synchronous mode (nil when buffered)
+
+	// Buffered mode.
+	lines     chan []byte
+	drop      bool
+	dropped   atomic.Uint64
+	done      chan struct{}
+	closeOnce sync.Once
+	w         io.Writer
+	werr      error // writer goroutine's first error; read after done
 }
 
-// NewJSONLSink streams events to w.
+// NewJSONLSink streams events to w synchronously (each line written
+// under a lock before the event callback returns).
 func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// NewBufferedJSONLSink streams events to w through a bounded buffer of
+// depth lines (minimum 1) drained by a writer goroutine, so a slow
+// writer no longer stalls serving through the sink lock. policy picks
+// block-or-drop on a full buffer; dropped lines are counted (Dropped).
+// Close flushes the buffer, stops the writer and returns its first
+// write error.
+func NewBufferedJSONLSink(w io.Writer, depth int, policy JSONLPolicy) *JSONLSink {
+	if depth < 1 {
+		depth = 1
+	}
+	s := &JSONLSink{
+		lines: make(chan []byte, depth),
+		drop:  policy == JSONLDrop,
+		done:  make(chan struct{}),
+		w:     w,
+	}
+	go func() {
+		defer close(s.done)
+		for line := range s.lines {
+			if s.werr != nil {
+				continue // drain without writing after a failure
+			}
+			if _, err := s.w.Write(line); err != nil {
+				s.werr = err
+			}
+		}
+	}()
+	return s
+}
+
+// Close flushes a buffered sink and stops its writer goroutine,
+// returning the writer's first error. On a synchronous sink it is a
+// no-op. No event may be delivered after Close.
+func (s *JSONLSink) Close() error {
+	if s.lines == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { close(s.lines) })
+	<-s.done
+	return s.werr
+}
+
+// Dropped reports how many lines a buffered JSONLDrop sink discarded
+// because the writer could not keep up.
+func (s *JSONLSink) Dropped() uint64 { return s.dropped.Load() }
+
+// emit routes one event line through the configured mode.
+func (s *JSONLSink) emit(v any) {
+	if s.lines == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		_ = s.enc.Encode(v)
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	if s.drop {
+		select {
+		case s.lines <- b:
+		default:
+			s.dropped.Add(1)
+		}
+		return
+	}
+	s.lines <- b
 }
 
 type jsonlGOP struct {
@@ -277,15 +489,30 @@ type jsonlRound struct {
 	Admitted    []int   `json:"admitted"`
 	Rejected    []int   `json:"rejected,omitempty"`
 	TimedOut    []int   `json:"timed_out,omitempty"`
+	Recovered   []int   `json:"recovered,omitempty"`
 	CoresUsed   int     `json:"cores_used"`
 	AvgPowerW   float64 `json:"avg_power_w"`
 	EstimateErr float64 `json:"estimate_err,omitempty"`
 }
 
+type jsonlShard struct {
+	Event string `json:"event"` // "shard_added" / "shard_removed"
+	Shard int    `json:"shard"`
+	Live  int    `json:"live_shards"`
+}
+
+type jsonlMigration struct {
+	Event       string `json:"event"` // "session_migrated"
+	FromShard   int    `json:"from_shard"`
+	FromSession int    `json:"from_session"`
+	ToShard     int    `json:"to_shard"`
+	ToSession   int    `json:"to_session"`
+	Class       string `json:"class"`
+	Frame       int    `json:"frame"`
+}
+
 func (s *JSONLSink) OnGOP(e GOPEvent) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_ = s.enc.Encode(jsonlGOP{
+	s.emit(jsonlGOP{
 		Event:    "gop",
 		Shard:    e.Shard,
 		Session:  e.Session,
@@ -301,8 +528,6 @@ func (s *JSONLSink) OnGOP(e GOPEvent) {
 }
 
 func (s *JSONLSink) OnSessionStateChange(e SessionEvent) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	line := jsonlState{
 		Event:   "session_state",
 		Shard:   e.Shard,
@@ -312,22 +537,41 @@ func (s *JSONLSink) OnSessionStateChange(e SessionEvent) {
 	if e.Err != nil {
 		line.Error = e.Err.Error()
 	}
-	_ = s.enc.Encode(line)
+	s.emit(line)
 }
 
 func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := e.Outcome
-	_ = s.enc.Encode(jsonlRound{
+	s.emit(jsonlRound{
 		Event:       "round",
 		Shard:       e.Shard,
 		Round:       out.Round,
 		Admitted:    out.AdmittedUsers,
 		Rejected:    out.RejectedUsers,
 		TimedOut:    out.TimedOut,
+		Recovered:   out.Recovered,
 		CoresUsed:   out.Allocation.CoresUsed,
 		AvgPowerW:   out.Energy.AvgPowerW,
 		EstimateErr: out.EstimateErr,
+	})
+}
+
+func (s *JSONLSink) OnShardAdded(e ShardEvent) {
+	s.emit(jsonlShard{Event: "shard_added", Shard: e.Shard, Live: e.Live})
+}
+
+func (s *JSONLSink) OnShardRemoved(e ShardEvent) {
+	s.emit(jsonlShard{Event: "shard_removed", Shard: e.Shard, Live: e.Live})
+}
+
+func (s *JSONLSink) OnSessionMigrated(e MigrationEvent) {
+	s.emit(jsonlMigration{
+		Event:       "session_migrated",
+		FromShard:   e.FromShard,
+		FromSession: e.FromSession,
+		ToShard:     e.ToShard,
+		ToSession:   e.ToSession,
+		Class:       e.Class,
+		Frame:       e.Frame,
 	})
 }

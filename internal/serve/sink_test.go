@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 // TestJSONLSinkStreamsParseableEvents: every event becomes one valid JSON
@@ -50,6 +51,133 @@ func TestJSONLSinkStreamsParseableEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 8 frames in GOPs of 4 → 2 rounds, 2 GOPs; queued + completed.
+	if counts["gop"] != 2 || counts["round"] != 2 || counts["session_state"] != 2 {
+		t.Fatalf("event counts %v, want 2 gop / 2 round / 2 session_state", counts)
+	}
+}
+
+// gateWriter blocks every Write until released.
+type gateWriter struct {
+	release chan struct{}
+	buf     bytes.Buffer
+	writes  int
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	<-g.release
+	g.writes++
+	return g.buf.Write(p)
+}
+
+// TestBufferedJSONLSinkDropPolicy: with a writer that cannot keep up, a
+// JSONLDrop sink never blocks the event path — it sheds lines and counts
+// them, and every line it kept is intact.
+func TestBufferedJSONLSinkDropPolicy(t *testing.T) {
+	gate := &gateWriter{release: make(chan struct{})}
+	sink := NewBufferedJSONLSink(gate, 2, JSONLDrop)
+
+	const events = 50
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < events; i++ {
+			sink.OnSessionStateChange(SessionEvent{Shard: 0, Session: i})
+		}
+	}()
+	select {
+	case <-done:
+		// The serving path never waited on the stalled writer.
+	case <-time.After(10 * time.Second):
+		t.Fatal("drop-policy sink blocked the event path behind a stalled writer")
+	}
+	close(gate.release)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dropped := int(sink.Dropped())
+	if dropped == 0 {
+		t.Fatal("a stalled writer dropped nothing — the buffer cannot have been bounded")
+	}
+	kept := 0
+	sc := bufio.NewScanner(&gate.buf)
+	for sc.Scan() {
+		var line struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("dropped mid-line, kept lines corrupt: %q", sc.Text())
+		}
+		kept++
+	}
+	if kept+dropped != events {
+		t.Fatalf("kept %d + dropped %d != %d emitted", kept, dropped, events)
+	}
+}
+
+// TestBufferedJSONLSinkBlockPolicy: the block policy loses nothing — all
+// lines arrive, in order, once the writer drains; Close flushes.
+func TestBufferedJSONLSinkBlockPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewBufferedJSONLSink(&buf, 4, JSONLBlock)
+	const events = 100
+	for i := 0; i < events; i++ {
+		sink.OnSessionStateChange(SessionEvent{Shard: 1, Session: i})
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Dropped() != 0 {
+		t.Fatalf("block policy dropped %d lines", sink.Dropped())
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var line struct {
+			Session int `json:"session"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Session != n {
+			t.Fatalf("line %d carries session %d — ordering broken", n, line.Session)
+		}
+		n++
+	}
+	if n != events {
+		t.Fatalf("%d lines written, want %d", n, events)
+	}
+}
+
+// TestBufferedJSONLSinkServesFleet: a buffered sink on a real fleet run
+// sees the same event stream a synchronous one would.
+func TestBufferedJSONLSinkServesFleet(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewBufferedJSONLSink(&buf, 64, JSONLBlock)
+	f, err := New(WithShards(1), WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Submit(testSource(t, "buffered", 1, 8), testSessionConfig()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var line struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		counts[line.Event]++
+	}
 	if counts["gop"] != 2 || counts["round"] != 2 || counts["session_state"] != 2 {
 		t.Fatalf("event counts %v, want 2 gop / 2 round / 2 session_state", counts)
 	}

@@ -202,6 +202,24 @@ func (l *LUT) merge(other *LUT) {
 	}
 }
 
+// MergeClass folds only the named class's LUT from other into s — the
+// targeted variant of Merge a resizing fleet uses to hand one class's
+// calibrated estimation state to the shard that takes the class over,
+// without dragging the donor's other classes along. A class other does
+// not know is a no-op.
+func (s *Store) MergeClass(other *Store, class string) {
+	if other == nil || other == s {
+		return
+	}
+	other.mu.Lock()
+	src := other.luts[class]
+	other.mu.Unlock()
+	if src == nil {
+		return
+	}
+	s.ForClass(class).merge(src)
+}
+
 // Clone returns a deep copy of the store (shared with nothing).
 func (s *Store) Clone() *Store {
 	out := NewStore()

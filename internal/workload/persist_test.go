@@ -148,3 +148,44 @@ func TestStoreMergeAndClone(t *testing.T) {
 		t.Fatal("self-merge doubled the store")
 	}
 }
+
+// TestStoreMergeClass: the targeted merge takes exactly one class — the
+// shard-removal handoff path — leaving the destination's other classes
+// and the donor untouched.
+func TestStoreMergeClass(t *testing.T) {
+	donor, dst := NewStore(), NewStore()
+	k := MakeKey(64*64, 1, 0, 32, 16)
+	donor.ForClass("brain").Observe(k, 100*time.Microsecond)
+	donor.ForClass("brain").Calibrate(k, 150*time.Microsecond, 0.5)
+	donor.ForClass("bone").Observe(k, 50*time.Microsecond)
+	dst.ForClass("chest").Observe(k, 80*time.Microsecond)
+
+	dst.MergeClass(donor, "brain")
+	if got := dst.ForClass("brain").Observations(); got != 1 {
+		t.Fatalf("brain observations %d after MergeClass, want 1", got)
+	}
+	if got := dst.ForClass("brain").Calibrations(); got != 1 {
+		t.Fatal("MergeClass dropped the calibration EWMA")
+	}
+	// Only the named class moved.
+	for _, c := range dst.Classes() {
+		if c == "bone" {
+			t.Fatal("MergeClass dragged an unrequested class along")
+		}
+	}
+	// Unknown classes and self-merges are no-ops.
+	dst.MergeClass(donor, "no-such-class")
+	for _, c := range dst.Classes() {
+		if c == "no-such-class" {
+			t.Fatal("MergeClass invented a class")
+		}
+	}
+	dst.MergeClass(dst, "brain")
+	if got := dst.ForClass("brain").Observations(); got != 1 {
+		t.Fatal("self MergeClass doubled the class")
+	}
+	// The donor is untouched.
+	if donor.ForClass("brain").Observations() != 1 || donor.ForClass("bone").Observations() != 1 {
+		t.Fatal("MergeClass mutated the donor")
+	}
+}
