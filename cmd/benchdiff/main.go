@@ -1,0 +1,199 @@
+// Command benchdiff turns `go test -bench` output into a committed JSON
+// baseline and gates CI on it: the perf trajectory the ROADMAP asks for.
+//
+// Two modes:
+//
+//	benchdiff -parse bench.txt                 # text → JSON on stdout
+//	benchdiff -baseline BENCH_pr5.json -current BENCH_ci.json \
+//	          -metric gops/svc-sec -max-drop 0.20
+//
+// Parse averages repeated runs (-count N) of each benchmark and keeps
+// every reported metric (ns/op, custom b.ReportMetric units, ...).
+// Compare fails (exit 1) when any benchmark present in both files drops
+// more than -max-drop on a higher-is-better metric like gops/svc-sec —
+// chosen as the gate because it is measured in simulated *service* time
+// (rounds × GOP seconds), so it is stable across runner hardware where
+// wall-clock ns/op is not. A benchmark missing from the current file
+// fails too: a gate that silently stops measuring is no gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the JSON schema of a committed benchmark snapshot.
+type Baseline struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// metrics, each averaged over the repeated runs.
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		parse    = flag.String("parse", "", "parse `go test -bench` output FILE and print the JSON baseline")
+		baseline = flag.String("baseline", "", "committed baseline JSON")
+		current  = flag.String("current", "", "freshly measured JSON to compare against the baseline")
+		metric   = flag.String("metric", "gops/svc-sec", "higher-is-better metric to gate on")
+		maxDrop  = flag.Float64("max-drop", 0.20, "maximum tolerated fractional drop below the baseline")
+	)
+	flag.Parse()
+
+	switch {
+	case *parse != "":
+		b, err := parseBench(*parse)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b); err != nil {
+			fatalf("%v", err)
+		}
+	case *baseline != "" && *current != "":
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cur, err := loadBaseline(*current)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !compare(base, cur, *metric, *maxDrop) {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse FILE | benchdiff -baseline a.json -current b.json [-metric M] [-max-drop F]")
+		os.Exit(2)
+	}
+}
+
+// parseBench reads `go test -bench` text output. A result line looks like
+//
+//	BenchmarkFleetRun_Churn-8   2   953843882 ns/op   30.00 gops/svc-sec   12.00 gops/op
+//
+// name and iteration count first, then value/unit pairs. Repeats of one
+// benchmark (-count) are averaged arithmetically.
+func parseBench(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sums := make(map[string]map[string]float64)
+	runs := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			// Strip the GOMAXPROCS suffix so baselines from hosts with
+			// different core counts still line up.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := make(map[string]float64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q on line %q", fields[i], sc.Text())
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) == 0 {
+			continue
+		}
+		if sums[name] == nil {
+			sums[name] = make(map[string]float64)
+		}
+		for unit, v := range metrics {
+			sums[name][unit] += v
+		}
+		runs[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark results in %s", path)
+	}
+	out := &Baseline{Benchmarks: make(map[string]map[string]float64)}
+	for name, m := range sums {
+		avg := make(map[string]float64, len(m))
+		for unit, sum := range m {
+			avg[unit] = sum / float64(runs[name])
+		}
+		out.Benchmarks[name] = avg
+	}
+	return out, nil
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b Baseline
+	if err := json.NewDecoder(f).Decode(&b); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// compare prints a per-benchmark table of the gated metric and returns
+// false when any gated benchmark regressed past maxDrop or vanished.
+func compare(base, cur *Baseline, metric string, maxDrop float64) bool {
+	var names []string
+	for name, metrics := range base.Benchmarks {
+		if _, ok := metrics[metric]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline has no benchmark reporting %q\n", metric)
+		return false
+	}
+	ok := true
+	for _, name := range names {
+		want := base.Benchmarks[name][metric]
+		got, present := 0.0, false
+		if m := cur.Benchmarks[name]; m != nil {
+			got, present = m[metric]
+		}
+		switch {
+		case !present:
+			fmt.Printf("FAIL %-40s %s: missing from current run (baseline %.2f)\n", name, metric, want)
+			ok = false
+		case want > 0 && got < want*(1-maxDrop):
+			fmt.Printf("FAIL %-40s %s: %.2f → %.2f (%.1f%% drop > %.0f%% allowed)\n",
+				name, metric, want, got, 100*(1-got/want), 100*maxDrop)
+			ok = false
+		default:
+			delta := 0.0
+			if want > 0 {
+				delta = 100 * (got/want - 1)
+			}
+			fmt.Printf("ok   %-40s %s: %.2f → %.2f (%+.1f%%)\n", name, metric, want, got, delta)
+		}
+	}
+	return ok
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -65,6 +65,10 @@ func main() {
 		scaleAfter = flag.Int("scale-window", 2, "consecutive saturated/idle observations before the autoscaler resizes")
 		resizeAt   = flag.String("resize-at", "", "forced resize schedule ROUND:SHARDS[,ROUND:SHARDS...] on total fleet rounds (e.g. 6:4,14:3)")
 		stagger    = flag.Int("stagger", 0, "submit one user every N fleet rounds instead of all upfront (0 = upfront)")
+
+		hotClass  = flag.String("hot-class", "", "give every user this body-part class (skews the class routing onto one shard)")
+		rebFactor = flag.Float64("rebalance-factor", 0, "shed a shard whose load exceeds this multiple of the fleet mean (0 = rebalancing off, must be > 1)")
+		rebWindow = flag.Int("rebalance-window", 2, "consecutive hot rounds before a shard sheds sessions")
 	)
 	flag.Parse()
 
@@ -80,6 +84,7 @@ func main() {
 			minShards: *minShards, maxShards: *maxShards,
 			targetLoad: *targetLoad, scaleWindow: *scaleAfter,
 			resizeAt: *resizeAt, stagger: *stagger,
+			hotClass: *hotClass, rebFactor: *rebFactor, rebWindow: *rebWindow,
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -181,6 +186,10 @@ type fleetOpts struct {
 	targetLoad, scaleWindow int
 	resizeAt                string
 	stagger                 int
+
+	hotClass  string
+	rebFactor float64
+	rebWindow int
 }
 
 // buildSink maps the -sink flag to a serve.Sink; the returned RingSink
@@ -217,153 +226,32 @@ func buildSink(spec string) (serve.Sink, *serve.RingSink, func() error, error) {
 	}
 }
 
-// resizeStep is one forced entry of the -resize-at schedule.
-type resizeStep struct {
-	round, shards int
-}
-
-// parseResizeAt parses "ROUND:SHARDS[,ROUND:SHARDS...]".
-func parseResizeAt(spec string) ([]resizeStep, error) {
+// parseResizeAt parses "ROUND:SHARDS[,ROUND:SHARDS...]" into the serve
+// autoscaler's forced schedule. The scaling policy itself lives in
+// internal/serve (WithAutoscale); this command only maps flags to config.
+func parseResizeAt(spec string) ([]serve.ScheduledResize, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	var steps []resizeStep
+	var steps []serve.ScheduledResize
 	for _, part := range strings.Split(spec, ",") {
-		var s resizeStep
-		if _, err := fmt.Sscanf(part, "%d:%d", &s.round, &s.shards); err != nil {
+		var s serve.ScheduledResize
+		if _, err := fmt.Sscanf(part, "%d:%d", &s.AfterRounds, &s.Shards); err != nil {
 			return nil, fmt.Errorf("bad -resize-at entry %q (want ROUND:SHARDS)", part)
 		}
 		steps = append(steps, s)
 	}
-	sort.Slice(steps, func(a, b int) bool { return steps[a].round < steps[b].round })
+	sort.Slice(steps, func(a, b int) bool { return steps[a].AfterRounds < steps[b].AfterRounds })
 	return steps, nil
-}
-
-// autoscaler drives Fleet.Resize from its own goroutine — resizes must
-// not run on serving goroutines — fed one tick per settled fleet round.
-// A forced -resize-at schedule takes precedence; otherwise the policy
-// scales up when the fleet holds more than targetLoad live sessions per
-// shard for window consecutive rounds, and down when the remaining
-// shards could absorb the load, with the same hysteresis window.
-type autoscaler struct {
-	fleet        *serve.Fleet
-	min, max     int
-	target       int
-	window       int
-	forced       []resizeStep
-	ticks        chan int // total settled fleet rounds, monotone
-	done         chan struct{}
-	stopped      chan struct{}
-	upRun, dnRun int
-}
-
-func newAutoscaler(fleet *serve.Fleet, o fleetOpts, forced []resizeStep) *autoscaler {
-	a := &autoscaler{
-		fleet:   fleet,
-		min:     o.minShards,
-		max:     o.maxShards,
-		target:  o.targetLoad,
-		window:  o.scaleWindow,
-		forced:  forced,
-		ticks:   make(chan int, 64),
-		done:    make(chan struct{}),
-		stopped: make(chan struct{}),
-	}
-	go a.loop()
-	return a
-}
-
-// tick reports a settled round (non-blocking; called from round hooks).
-func (a *autoscaler) tick(totalRounds int) {
-	select {
-	case a.ticks <- totalRounds:
-	default:
-	}
-}
-
-// stop ends the loop and waits for an in-flight resize to land.
-func (a *autoscaler) stop() {
-	close(a.done)
-	<-a.stopped
-}
-
-func (a *autoscaler) loop() {
-	defer close(a.stopped)
-	for {
-		select {
-		case <-a.done:
-			return
-		case rounds := <-a.ticks:
-			a.observe(rounds)
-		}
-	}
-}
-
-// observe applies the forced schedule, then the load policy.
-func (a *autoscaler) observe(rounds int) {
-	for len(a.forced) > 0 && rounds >= a.forced[0].round {
-		step := a.forced[0]
-		a.forced = a.forced[1:]
-		a.resize(step.shards, "scheduled")
-	}
-	if len(a.forced) > 0 {
-		return // let a pending schedule play out before reacting to load
-	}
-	if a.min >= a.max {
-		return // elasticity not requested
-	}
-	live, total := 0, 0
-	for _, l := range a.fleet.Loads() {
-		if l < 0 {
-			continue
-		}
-		live++
-		total += l
-	}
-	if live == 0 {
-		return
-	}
-	switch {
-	case live < a.max && total > live*a.target:
-		a.upRun++
-		a.dnRun = 0
-		if a.upRun >= a.window {
-			a.upRun = 0
-			a.resize(live+1, fmt.Sprintf("sustained saturation (%d sessions on %d shards)", total, live))
-		}
-	case live > a.min && total <= (live-1)*a.target:
-		a.dnRun++
-		a.upRun = 0
-		if a.dnRun >= a.window {
-			a.dnRun = 0
-			a.resize(live-1, fmt.Sprintf("sustained idleness (%d sessions on %d shards)", total, live))
-		}
-	default:
-		a.upRun, a.dnRun = 0, 0
-	}
-}
-
-func (a *autoscaler) resize(n int, why string) {
-	if a.max > 0 && n > a.max {
-		n = a.max
-	}
-	if n < a.min {
-		n = a.min
-	}
-	if n == a.fleet.Shards() {
-		return
-	}
-	fmt.Printf("autoscaler: resizing fleet %d → %d shards (%s)\n", a.fleet.Shards(), n, why)
-	if err := a.fleet.Resize(n); err != nil {
-		fmt.Fprintf(os.Stderr, "autoscaler: resize to %d failed: %v\n", n, err)
-	}
 }
 
 // serveFleet drives the fleet serving API: n synthetic sessions of
 // rotating classes/motions are routed across the shards by workload
 // class and served with the admission ladder (including rate-rung
 // recovery), estimate calibration and — when -min-shards/-max-shards
-// span a range or -resize-at forces it — live fleet resizing.
+// span a range or -resize-at forces it — the serve-layer autoscaler
+// (serve.WithAutoscale). All scaling policy lives in internal/serve;
+// this function only maps flags onto configs.
 func serveFleet(ctx context.Context, o fleetOpts) error {
 	mode := core.ModeProposed
 	switch o.mode {
@@ -386,15 +274,22 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	if err != nil {
 		return err
 	}
-	// An explicit schedule outranks the default bounds: widen them to
-	// cover every scheduled size so -resize-at alone is never silently
-	// clamped into a no-op.
+	// The autoscaler widens its bounds to cover the forced schedule;
+	// mirror that here for the capacity heuristic and the banner.
 	for _, st := range forced {
-		if st.shards > o.maxShards {
-			o.maxShards = st.shards
+		if st.Shards > o.maxShards {
+			o.maxShards = st.Shards
 		}
-		if st.shards < o.minShards {
-			o.minShards = st.shards
+		if st.Shards < o.minShards {
+			o.minShards = st.Shards
+		}
+	}
+	elastic := o.minShards < o.maxShards || len(forced) > 0
+	var hot medgen.Class
+	if o.hotClass != "" {
+		var ok bool
+		if hot, ok = classByName(o.hotClass); !ok {
+			return fmt.Errorf("unknown class %q", o.hotClass)
 		}
 	}
 	sink, ring, closeSink, err := buildSink(o.sink)
@@ -407,15 +302,19 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	// so pure class routing can pile everyone on one shard — the capacity
 	// bound spills the overflow to the least-loaded shards. An elastic
 	// run instead caps shards at the autoscaler's per-shard target, so
-	// "shard full" means the same thing to routing and to scaling.
+	// "shard full" means the same thing to routing and to scaling. A
+	// skewed -hot-class run leaves routing unbounded: the point is to let
+	// one shard run hot and watch the rebalancer shed it.
 	capacity := (o.users + o.shards - 1) / o.shards
-	if o.minShards < o.maxShards || len(forced) > 0 {
+	if elastic {
 		capacity = o.targetLoad
 	}
+	if o.hotClass != "" {
+		capacity = 0
+	}
 	var fleet *serve.Fleet
-	var scaler *autoscaler
-	// Fleet-wide settled-round counter driving staggered arrivals and the
-	// autoscaler (hooks run on serving goroutines; resizes do not).
+	// Fleet-wide settled-round counter pacing staggered arrivals (hooks
+	// run on serving goroutines).
 	var totalRounds atomic.Int64
 	submitted := 0
 	var submitMu sync.Mutex
@@ -429,6 +328,9 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		vc.Class = classes[i%len(classes)]
 		vc.Motion = motions[i%len(motions)]
 		vc.Seed = o.seed + int64(i)
+		if o.hotClass != "" {
+			vc.Class = hot
+		}
 		gen, err := medgen.NewGenerator(vc)
 		if err != nil {
 			return err
@@ -497,10 +399,28 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 				}
 				submitMu.Unlock()
 			}
-			if scaler != nil {
-				scaler.tick(rounds)
-			}
 		}),
+	}
+	if elastic {
+		fleetOptions = append(fleetOptions, serve.WithAutoscale(serve.AutoscaleConfig{
+			MinShards:  o.minShards,
+			MaxShards:  o.maxShards,
+			TargetLoad: o.targetLoad,
+			Window:     o.scaleWindow,
+			Schedule:   forced,
+			OnResize: func(from, to int, reason string) {
+				fmt.Printf("autoscaler: resizing fleet %d → %d shards (%s)\n", from, to, reason)
+			},
+			OnError: func(err error) {
+				fmt.Fprintf(os.Stderr, "autoscaler: resize failed: %v\n", err)
+			},
+		}))
+	}
+	if o.rebFactor > 0 {
+		fleetOptions = append(fleetOptions, serve.WithRebalance(serve.RebalanceConfig{
+			Factor:  o.rebFactor,
+			Windows: o.rebWindow,
+		}))
 	}
 	if sink != nil {
 		fleetOptions = append(fleetOptions, serve.WithSink(sink))
@@ -512,7 +432,6 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	if err != nil {
 		return err
 	}
-	scaler = newAutoscaler(fleet, o, forced)
 
 	if o.stagger > 0 {
 		// Seed the service with the first user; the round hook feeds the
@@ -536,13 +455,12 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	fmt.Printf("\nserving %d users on %d shard(s) of %d cores each (min %d, max %d), allocator %q\n\n",
 		o.users, o.shards, mpsoc.XeonE5_2667V4().Cores, o.minShards, o.maxShards, o.allocator)
 	rep, runErr := fleet.Run(ctx)
-	scaler.stop()
 	if cerr := closeSink(); cerr != nil && runErr == nil {
 		runErr = cerr
 	}
 
-	fmt.Printf("\nfleet report: %d rounds over %d shards, %d/%d sessions completed (%d rejected, %d failed, %d migrations)\n",
-		rep.Rounds, len(rep.Shards), rep.Completed, rep.Submitted, rep.Rejected, rep.Failed, rep.Migrated)
+	fmt.Printf("\nfleet report: %d rounds over %d shards, %d/%d sessions completed (%d rejected, %d failed, %d migrations, %d rebalances)\n",
+		rep.Rounds, len(rep.Shards), rep.Completed, rep.Submitted, rep.Rejected, rep.Failed, rep.Migrated, rep.Rebalanced)
 	fmt.Printf("  %d frames in %d GOP reports, %.1f J total (avg %.1f W, peak %.1f W), %d deadline misses\n",
 		rep.FramesEncoded, rep.GOPReports, rep.Energy.EnergyJ, rep.Energy.AvgPowerW(), rep.Energy.PeakPowerW, rep.Energy.DeadlineMisses)
 	for _, sr := range rep.Shards {
@@ -565,6 +483,9 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		if added, removed := ring.Resizes(); added+removed > 0 {
 			fmt.Printf("  elasticity: %d shards added, %d removed, %d session migrations\n",
 				added, removed, ring.Migrations())
+		}
+		if n := ring.Rebalances(); n > 0 {
+			fmt.Printf("  rebalancing: %d session(s) shed off hot shards\n", n)
 		}
 	}
 	if o.luts != "" && runErr == nil {

@@ -7,10 +7,12 @@
 // LUTs stay warm, the admission ladder degrades newcomers when a shard
 // saturates (uniform tiling → higher QP → half frame rate → bounded
 // queue), and a ring-buffer sink keeps the service observable without
-// growing with every GOP. When the morning rush piles up, a scaler
-// goroutine grows the fleet with Fleet.Resize — and shrinks it again as
-// the clinic empties, migrating any still-running consultation to a
-// surviving shard at a GOP boundary, without losing a frame.
+// growing with every GOP. When the morning rush piles up, the fleet's
+// built-in autoscaler (serve.WithAutoscale) grows the fleet — and
+// shrinks it again as the clinic empties, migrating any still-running
+// consultation to a surviving shard at a GOP boundary, without losing a
+// frame — while the rebalancer (serve.WithRebalance) sheds a shard that
+// one popular body part made hot onto its idle peer.
 package main
 
 import (
@@ -69,29 +71,6 @@ func main() {
 		return nil
 	}
 
-	// The scaler lives on its own goroutine: Resize waits for a drained
-	// shard's serving loop, so it must never run on a round hook.
-	ticks := make(chan struct{}, 16)
-	scalerDone := make(chan struct{})
-	scale := func() {
-		defer close(scalerDone)
-		for range ticks {
-			load := fleet.Load()
-			switch n := fleet.Shards(); {
-			case n < 3 && load > 5: // the morning rush outgrows two small shards
-				fmt.Printf("   ⇡ %d consultations waiting — opening a third shard\n", load)
-				if err := fleet.Resize(3); err != nil {
-					log.Fatal(err)
-				}
-			case n > 2 && load <= 3: // clinic emptying: consolidate
-				fmt.Printf("   ⇣ %d consultations left — draining the extra shard\n", load)
-				if err := fleet.Resize(2); err != nil {
-					log.Fatal(err)
-				}
-			}
-		}
-	}
-
 	ring := serve.NewRingSink(64)
 	var err error
 	fleet, err = serve.New(
@@ -100,6 +79,27 @@ func main() {
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
 		serve.WithAdmission(core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16, RecoverAfterRounds: 3}),
 		serve.WithSink(ring),
+		// The fleet scales itself: more than TargetLoad consultations per
+		// shard for Window consecutive rounds opens a third shard; once
+		// the remaining shards could absorb everyone, the extra shard
+		// drains — live consultations migrate at a GOP boundary.
+		serve.WithAutoscale(serve.AutoscaleConfig{
+			MinShards:  2,
+			MaxShards:  3,
+			TargetLoad: 2,
+			Window:     1,
+			OnResize: func(from, to int, reason string) {
+				if to > from {
+					fmt.Printf("   ⇡ opening shard %d → %d (%s)\n", from, to, reason)
+				} else {
+					fmt.Printf("   ⇣ consolidating %d → %d (%s)\n", from, to, reason)
+				}
+			},
+			OnError: func(err error) { log.Fatal(err) },
+		}),
+		// And a shard one popular body part made hot sheds consultations
+		// to its idle peers without changing the fleet's size.
+		serve.WithRebalance(serve.RebalanceConfig{Factor: 1.5, Windows: 2}),
 		serve.WithRoundHook(func(shard int, out *core.GOPOutcome) {
 			fmt.Printf("shard %d round %2d: served %d users on %d cores, %.1f W",
 				shard, out.Round, len(out.AdmittedUsers), out.Allocation.CoresUsed, out.Energy.AvgPowerW)
@@ -120,16 +120,11 @@ func main() {
 			if submitted == arrivals {
 				fleet.Close()
 			}
-			select {
-			case ticks <- struct{}{}:
-			default:
-			}
 		}),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	go scale()
 
 	for i := 0; i < upfront; i++ {
 		if err := submit(); err != nil {
@@ -142,8 +137,6 @@ func main() {
 
 	start := time.Now()
 	rep, err := fleet.Run(context.Background())
-	close(ticks)
-	<-scalerDone
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -159,6 +152,9 @@ func main() {
 	if added, removed := ring.Resizes(); added+removed > 0 {
 		fmt.Printf("elasticity: %d shard(s) opened, %d drained, %d consultation(s) migrated mid-stream\n",
 			added, removed, ring.Migrations())
+	}
+	if n := ring.Rebalances(); n > 0 {
+		fmt.Printf("rebalancing: %d consultation(s) shed off a hot shard\n", n)
 	}
 	for _, sr := range rep.Shards {
 		if sr.Report == nil {

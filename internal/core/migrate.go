@@ -136,6 +136,53 @@ func (s *Server) ExportSessions() ([]*SessionSnapshot, error) {
 	return snaps, nil
 }
 
+// ExportSession removes one queued session from the server and returns
+// its snapshot — the single-session, Drain-less narrow path behind
+// proactive hot-shard rebalancing (internal/serve): a hot shard sheds a
+// session to an idle peer without stopping its own serving loop. Unlike
+// ExportSessions it may be called while a Run is active, but then only
+// from the serving goroutine itself between rounds (in practice: the
+// ServerConfig.OnRound hook), where every session sits at a GOP boundary
+// and no encode is in flight; from any other goroutine it would race the
+// loop. The exported record transitions to StateMigrated and the session
+// transfers to the caller exactly as with ExportSessions: hand it to one
+// target's Import, or fail it via FailSession.
+func (s *Server) ExportSession(id int) (*SessionSnapshot, error) {
+	s.mu.Lock()
+	if id < 0 || id >= len(s.records) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: no session %d", id)
+	}
+	rec := s.records[id]
+	if rec.state != StateQueued {
+		st := rec.state
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: session %d is %v, not exportable", id, st)
+	}
+	if !rec.sess.AtGOPBoundary() {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: session %d is mid-GOP (frame %d) — cannot export", id, rec.sess.NextFrame())
+	}
+	sess := rec.sess
+	snap := &SessionSnapshot{
+		Session:    sess,
+		Class:      sess.Class(),
+		DonorID:    id,
+		Frame:      sess.NextFrame(),
+		QPOffset:   sess.QPOffset(),
+		Degraded:   sess.Degraded(),
+		RateHalved: sess.RateHalved(),
+		Rung:       rec.rung,
+		Waited:     rec.waited,
+		SkipRound:  rec.skipRound,
+	}
+	rec.state = StateMigrated
+	rec.sess = nil // ownership transferred; a stale reference is a bug
+	s.mu.Unlock()
+	s.notifyState(id, StateMigrated, nil)
+	return snap, nil
+}
+
 // Import adopts a session exported from another shard: the session gets
 // a fresh shard-local id, is re-bound to this server's per-class
 // workload LUT (its estimates now come from — and its observations feed
@@ -188,23 +235,31 @@ func (s *Server) Imported() int {
 // migration layer's dead-letter path for a snapshot no live shard would
 // accept. It applies to queued sessions and to exported (StateMigrated)
 // records whose snapshot could not be placed; terminal sessions are left
-// alone (an error reports the refusal). Like Abort it must not race a
-// serving goroutine.
+// alone (an error reports the refusal). For a queued session it must not
+// race a serving goroutine (like Abort, it fails while a Run is active);
+// a migrated record is already terminal for this shard — its session
+// pointer is gone and the serving loop skips it — so flipping it to
+// failed is safe from any goroutine at any time, which is what lets the
+// rebalancer dead-letter an unplaceable snapshot without stopping the
+// donor's loop.
 func (s *Server) FailSession(id int, err error) error {
 	if err == nil {
 		err = fmt.Errorf("core: session failed")
 	}
 	s.mu.Lock()
-	if s.running {
-		s.mu.Unlock()
-		return fmt.Errorf("core: FailSession while Run is active")
-	}
 	if id < 0 || id >= len(s.records) {
 		s.mu.Unlock()
 		return fmt.Errorf("core: no session %d", id)
 	}
 	rec := s.records[id]
-	if rec.state != StateQueued && rec.state != StateMigrated {
+	switch {
+	case rec.state == StateMigrated:
+		// Dead-lettering an exported record touches no live session state.
+	case rec.state == StateQueued && !s.running:
+	case rec.state == StateQueued:
+		s.mu.Unlock()
+		return fmt.Errorf("core: FailSession while Run is active")
+	default:
 		st := rec.state
 		s.mu.Unlock()
 		return fmt.Errorf("core: session %d is %v, not failable", id, st)

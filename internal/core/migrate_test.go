@@ -233,3 +233,174 @@ func TestExportImportContract(t *testing.T) {
 		t.Fatal("FailSession re-failed a terminal session")
 	}
 }
+
+// TestExportSessionDuringRunBitIdentical exercises the Drain-less narrow
+// path behind hot-shard rebalancing: while the donor's Run is serving two
+// sessions, its OnRound hook exports one of them after the second round
+// and a target server adopts it mid-service. The handed-off session's
+// digest chain across both servers must equal the same session served
+// solo, and no frame or GOP report may be lost on either side.
+func TestExportSessionDuringRunBitIdentical(t *testing.T) {
+	const frames = 16 // 4 GOPs of 4
+
+	// Control: the victim's whole video on one server.
+	control := newMigrationServer(t)
+	if _, err := control.Submit(testSource(t, medgen.Chest, medgen.Pan, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	controlOuts, err := control.ServeAll(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gopDigests(controlOuts, 0)
+
+	target := newMigrationServer(t)
+	var donor *Server
+	var donorOuts []*GOPOutcome
+	var exported *SessionSnapshot
+	donor, err = NewServer(ServerConfig{
+		Platform: mpsoc.XeonE5_2667V4(),
+		FPS:      24,
+		OnRound: func(out *GOPOutcome) {
+			donorOuts = append(donorOuts, out)
+			if len(donorOuts) != 2 {
+				return
+			}
+			// Round boundary on the serving goroutine: the one place a
+			// single session may leave a live Run.
+			snap, err := donor.ExportSession(1)
+			if err != nil {
+				t.Errorf("ExportSession(1): %v", err)
+				return
+			}
+			exported = snap
+			if _, err := target.Import(snap); err != nil {
+				t.Errorf("Import: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.Submit(testSource(t, medgen.Brain, medgen.Rotate, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.Submit(testSource(t, medgen.Chest, medgen.Pan, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	donor.Close()
+	donorRep, err := donor.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported == nil {
+		t.Fatal("OnRound never exported the session")
+	}
+	if exported.Frame != 8 || exported.Class != "chest" {
+		t.Fatalf("snapshot %+v, want chest at frame 8", exported)
+	}
+	if st, _ := donor.StateOf(1); st != StateMigrated {
+		t.Fatalf("donor state %v, want migrated", st)
+	}
+
+	target.Close()
+	targetRep, err := target.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targetRep.Completed) != 1 || targetRep.Imported != 1 {
+		t.Fatalf("target report %+v, want the adopted session completed", targetRep)
+	}
+	if len(donorRep.Completed) != 1 || len(donorRep.Migrated) != 1 {
+		t.Fatalf("donor report %+v, want one completed and one migrated", donorRep)
+	}
+
+	// Zero loss: the victim's GOPs split exactly across the two servers.
+	got := gopDigests(donorOuts, 1)
+	got = append(got, gopDigests(targetRep.Outcomes, 0)...)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("handed-off digest chain differs from the solo run:\n got %v\nwant %v", got, want)
+	}
+	if frames+frames != donorRep.FramesEncoded+targetRep.FramesEncoded {
+		t.Fatalf("frames %d+%d, want %d total", donorRep.FramesEncoded, targetRep.FramesEncoded, frames+frames)
+	}
+}
+
+// TestExportSessionContract: only queued sessions at a GOP boundary are
+// exportable, and bad ids are refused.
+func TestExportSessionContract(t *testing.T) {
+	srv := newMigrationServer(t)
+	if _, err := srv.ExportSession(0); err == nil {
+		t.Fatal("ExportSession accepted an unknown id")
+	}
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := srv.ExportSession(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Frame != 0 || snap.DonorID != 0 {
+		t.Fatalf("snapshot %+v, want frame 0 of donor 0", snap)
+	}
+	// The record is migrated now — a second export must refuse.
+	if _, err := srv.ExportSession(0); err == nil {
+		t.Fatal("ExportSession re-exported a migrated session")
+	}
+	// The orphaned snapshot dead-letters cleanly.
+	if err := srv.FailSession(0, fmt.Errorf("unplaceable")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailSessionDeadLettersDuringRun: an exported (StateMigrated)
+// record may be failed while the donor's Run is still serving — the
+// rebalancer's dead-letter path for a snapshot no shard accepts — while
+// failing a *queued* session mid-Run stays refused.
+func TestFailSessionDeadLettersDuringRun(t *testing.T) {
+	var srv *Server
+	var hookErrs []error
+	srv, err := NewServer(ServerConfig{
+		Platform: mpsoc.XeonE5_2667V4(),
+		FPS:      24,
+		OnRound: func(out *GOPOutcome) {
+			if out.Round != 0 {
+				return
+			}
+			if err := srv.FailSession(1, fmt.Errorf("queued, must refuse")); err == nil {
+				hookErrs = append(hookErrs, fmt.Errorf("FailSession accepted a queued session mid-Run"))
+			}
+			if _, err := srv.ExportSession(1); err != nil {
+				hookErrs = append(hookErrs, err)
+				return
+			}
+			// The snapshot found no home: dead-letter it without stopping
+			// the loop.
+			if err := srv.FailSession(1, fmt.Errorf("unplaceable")); err != nil {
+				hookErrs = append(hookErrs, err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), testSessionConfig(ModeProposed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+	rep, err := srv.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, herr := range hookErrs {
+		t.Error(herr)
+	}
+	if len(rep.Completed) != 1 || len(rep.Failed) != 1 {
+		t.Fatalf("report %+v, want session 0 completed and session 1 dead-lettered", rep)
+	}
+	if st, _ := srv.StateOf(1); st != StateFailed {
+		t.Fatalf("state %v, want failed", st)
+	}
+}

@@ -36,13 +36,17 @@ type Shard interface {
 
 	// The migration surface (see migrate.go): Drain stops the serving
 	// loop at the next GOP boundary with the sessions still queued,
-	// ExportSessions hands them out as snapshots, Import adopts a
-	// snapshot from another shard, and FailSession is the dead-letter
-	// path for a snapshot no shard would take. ExportSessions and
-	// FailSession must not overlap a Run; Drain and Import are safe from
-	// any goroutine.
+	// ExportSessions hands them out as snapshots, ExportSession hands out
+	// a single one (the Drain-less rebalancing path — callable during a
+	// Run, but only from the serving goroutine between rounds), Import
+	// adopts a snapshot from another shard, and FailSession is the
+	// dead-letter path for a snapshot no shard would take. ExportSessions
+	// must not overlap a Run, and neither may FailSession on a *queued*
+	// session (failing an already-exported record is safe anytime); Drain
+	// and Import are safe from any goroutine.
 	Drain()
 	ExportSessions() ([]*SessionSnapshot, error)
+	ExportSession(id int) (*SessionSnapshot, error)
 	Import(snap *SessionSnapshot) (*Session, error)
 	FailSession(id int, err error) error
 	// Imported counts sessions adopted from other shards.

@@ -49,10 +49,11 @@ func soloDigests(t *testing.T, class string, seed int64, frames int) []uint64 {
 	return digests
 }
 
-// stitchDigests follows a session across migrations: starting from its
-// submission key (shard, session), it chains the per-key GOP digests in
-// GOP-index order, hopping keys at every migration event. Returns the
-// digests and the total frames observed.
+// stitchDigests follows a session across migrations and rebalances:
+// starting from its submission key (shard, session), it chains the
+// per-key GOP digests in GOP-index order, hopping keys at every
+// migration/rebalance event. Returns the digests and the total frames
+// observed.
 func stitchDigests(sink *recordingSink, shard, session int) ([]uint64, int) {
 	sink.mu.Lock()
 	defer sink.mu.Unlock()
@@ -63,7 +64,7 @@ func stitchDigests(sink *recordingSink, shard, session int) ([]uint64, int) {
 		gops[k] = append(gops[k], e)
 	}
 	next := make(map[key]key)
-	for _, m := range sink.migrations {
+	for _, m := range append(append([]MigrationEvent(nil), sink.migrations...), sink.rebalances...) {
 		next[key{m.FromShard, m.FromSession}] = key{m.ToShard, m.ToSession}
 	}
 	var digests []uint64

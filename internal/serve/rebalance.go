@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// The fleet control loop, part 2: proactive rebalancing (DESIGN.md §10).
+// Resize migrates sessions only off removed shards; a hot shard inside a
+// *stable* fleet — class routing piled one popular class onto it — never
+// shed load. WithRebalance closes that gap with the same GOP-boundary
+// handoff, minus the drain: when a shard's live-session count exceeds the
+// fleet mean by a configurable factor for K consecutive rounds, it hands
+// its newest sessions to the least-loaded peers through the narrow
+// core.Shard.ExportSession path, right after its round settles — the one
+// moment every session on the shard sits at a GOP boundary with no encode
+// in flight, and the one goroutine allowed to touch them is the very one
+// running the check. The rebalanced session's bitstream continues
+// bit-identically on the peer (the migration layer's invariant).
+
+// RebalanceConfig parametrizes proactive hot-shard rebalancing
+// (WithRebalance).
+type RebalanceConfig struct {
+	// Factor is the imbalance trigger: a shard is hot when its
+	// live-session count exceeds Factor × the fleet-wide mean. Must
+	// exceed 1 (default 1.5).
+	Factor float64
+	// Windows is the hysteresis: that many consecutive hot rounds before
+	// the shard sheds, with any cool round resetting the count
+	// (default 2).
+	Windows int
+	// MaxMoves caps the sessions shed per trigger (0 = enough to bring
+	// the shard back to the fleet mean).
+	MaxMoves int
+}
+
+// shedKey identifies one rebalance LUT warm-handoff: the adopting shard
+// and the workload class whose tables were merged into it.
+type shedKey struct {
+	shard int
+	class string
+}
+
+// WithRebalance makes hot shards shed sessions to idle peers while the
+// fleet keeps its size: after every settled round the fleet compares the
+// shard's load against the fleet mean, and a shard hot for
+// cfg.Windows consecutive rounds hands its newest sessions to the
+// least-loaded shards at the GOP boundary (OnSessionRebalanced reports
+// each hop). Rebalancing and Resize exclude each other, so a shedding
+// shard can never race a drain.
+func WithRebalance(cfg RebalanceConfig) Option {
+	return func(o *options) { o.rebalance = &cfg }
+}
+
+// validateRebalance applies defaults. Called from New.
+func validateRebalance(cfg *RebalanceConfig) error {
+	if cfg.Factor == 0 {
+		cfg.Factor = 1.5
+	}
+	if !(cfg.Factor > 1) { // NaN-safe
+		return fmt.Errorf("serve: rebalance factor %v must exceed 1", cfg.Factor)
+	}
+	if cfg.Windows == 0 {
+		cfg.Windows = 2
+	}
+	if cfg.Windows < 0 || cfg.MaxMoves < 0 {
+		return fmt.Errorf("serve: rebalance windows %d / max moves %d", cfg.Windows, cfg.MaxMoves)
+	}
+	return nil
+}
+
+// maybeRebalance runs the hot-shard check for one settled round of shard
+// s, on s's serving goroutine (the fleet's OnRound wire). It never blocks
+// on a resize: while one is in flight the check just stands down — the
+// resize is already rehoming sessions.
+func (f *Fleet) maybeRebalance(s *shardState) {
+	cfg := f.opts.rebalance
+	if cfg == nil {
+		return
+	}
+	loads := f.Loads()
+	live, total := 0, 0
+	for _, l := range loads {
+		if l >= 0 {
+			live++
+			total += l
+		}
+	}
+	donorLoad := loads[s.index]
+	mean := 0.0
+	if live > 0 {
+		mean = float64(total) / float64(live)
+	}
+	hot := live >= 2 && donorLoad >= 2 && float64(donorLoad) > cfg.Factor*mean
+
+	f.mu.Lock()
+	if !hot || f.resizing || !s.routable() {
+		// A cool round — or one we must sit out — resets the hysteresis.
+		delete(f.hotRuns, s.index)
+		f.mu.Unlock()
+		return
+	}
+	f.hotRuns[s.index]++
+	if f.hotRuns[s.index] < cfg.Windows {
+		f.mu.Unlock()
+		return
+	}
+	delete(f.hotRuns, s.index)
+	// Claim a rebalance slot: Resize waits for in-flight rebalances, and
+	// no new one starts while a resize is pending — the mutual exclusion
+	// that keeps a shed target from draining away mid-handoff.
+	f.rebalancing++
+	f.mu.Unlock()
+
+	f.shedLoad(s, donorLoad, mean, cfg)
+
+	f.mu.Lock()
+	f.rebalancing--
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// shedLoad moves the donor's newest sessions to the least-loaded peers
+// until the donor is back at the fleet mean (or MaxMoves is reached, or
+// moving would no longer reduce the imbalance). Runs on the donor's
+// serving goroutine between rounds — the ExportSession contract.
+func (f *Fleet) shedLoad(s *shardState, donorLoad int, mean float64, cfg *RebalanceConfig) {
+	moves := donorLoad - int(math.Ceil(mean))
+	if moves < 1 {
+		moves = 1
+	}
+	if cfg.MaxMoves > 0 && moves > cfg.MaxMoves {
+		moves = cfg.MaxMoves
+	}
+
+	// Newest queued sessions first: they carry the least serving history,
+	// so re-homing them disturbs the donor's warm working set the least.
+	var queued []int
+	for id := 0; ; id++ {
+		st, ok := s.srv.StateOf(id)
+		if !ok {
+			break
+		}
+		if st == core.StateQueued {
+			queued = append(queued, id)
+		}
+	}
+
+	for i := len(queued) - 1; i >= 0 && moves > 0; i-- {
+		target, targetLoad := f.pickRebalanceTarget(s.index)
+		if target == nil || targetLoad+1 >= s.srv.Load() {
+			return // nobody meaningfully less loaded is left
+		}
+		snap, err := s.srv.ExportSession(queued[i])
+		if err != nil {
+			continue // settled since the snapshot of queued ids; skip it
+		}
+		// Warm handoff: the class's calibrated LUT rides along so the
+		// session's first post-rebalance round estimates from the donor's
+		// tables instead of cold ones — once per (target, class) for the
+		// fleet's lifetime, because the store merge is additive and a hot
+		// shard sheds repeatedly: re-merging would pile duplicate history
+		// into the target's histograms and calibration EWMA every trigger.
+		f.mu.Lock()
+		h := shedKey{target.index, snap.Class}
+		doMerge := !f.shedMerged[h]
+		f.shedMerged[h] = true
+		f.mu.Unlock()
+		if doMerge {
+			target.srv.Store().MergeClass(s.srv.Store(), snap.Class)
+		}
+		sess, ierr := target.srv.Import(snap)
+		if ierr != nil {
+			// Never strand the session: re-adopt it locally under a fresh
+			// id; only if even that fails does it dead-letter.
+			if _, herr := s.srv.Import(snap); herr != nil {
+				_ = s.srv.FailSession(snap.DonorID, fmt.Errorf(
+					"serve: rebalance of session %d off shard %d: %w", snap.DonorID, s.index, ierr))
+			}
+			continue
+		}
+		f.mu.Lock()
+		f.rebalanced++
+		f.mu.Unlock()
+		f.dispatchRebalance(MigrationEvent{
+			FromShard:   s.index,
+			FromSession: snap.DonorID,
+			ToShard:     target.index,
+			ToSession:   sess.ID,
+			Class:       snap.Class,
+			Frame:       snap.Frame,
+		})
+		// Wake or revive the adopter: a closed fleet drains shards as they
+		// empty, so an idle target may have no supervisor anymore.
+		f.reviveSupervisor(target)
+		moves--
+	}
+}
+
+// pickRebalanceTarget returns the least-loaded routable shard other than
+// the donor (ties to the lowest index), with its load; nil when the donor
+// is the only live shard.
+func (f *Fleet) pickRebalanceTarget(donor int) (*shardState, int) {
+	f.mu.Lock()
+	shards := append([]*shardState(nil), f.shards...)
+	routable := make([]bool, len(shards))
+	for i, s := range shards {
+		routable[i] = s.routable()
+	}
+	f.mu.Unlock()
+	var best *shardState
+	bestLoad := 0
+	for i, t := range shards {
+		if i == donor || !routable[i] {
+			continue
+		}
+		if l := t.srv.Load(); best == nil || l < bestLoad {
+			best, bestLoad = t, l
+		}
+	}
+	return best, bestLoad
+}
+
+// reviveSupervisor restarts a live target's serving supervisor if the
+// fleet is running and the target's previous supervisor already returned
+// (an empty shard of a closed fleet drains its loop).
+func (f *Fleet) reviveSupervisor(t *shardState) {
+	f.mu.Lock()
+	if f.running && t.routable() && !t.supervising {
+		f.startSupervisorLocked(f.runCtx, t)
+	}
+	f.mu.Unlock()
+}
+
+// dispatchRebalance delivers a session-rebalanced event to the sink.
+func (f *Fleet) dispatchRebalance(e MigrationEvent) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	f.opts.sink.OnSessionRebalanced(e)
+}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/mpsoc"
@@ -39,6 +40,9 @@ type options struct {
 	admission   core.AdmissionConfig
 	calibration core.CalibrationConfig
 	timeScale   float64
+
+	autoscale *AutoscaleConfig
+	rebalance *RebalanceConfig
 
 	sink      Sink
 	roundHook func(shard int, out *core.GOPOutcome)
@@ -211,6 +215,10 @@ type Fleet struct {
 	// sinkMu serializes sink delivery fleet-wide (the Sink contract).
 	sinkMu sync.Mutex
 
+	// totalRounds counts settled rounds fleet-wide across the fleet's
+	// lifetime — the autoscale schedule's clock.
+	totalRounds atomic.Int64
+
 	mu   sync.Mutex
 	cond *sync.Cond // signals supervisor-count changes to Run
 	ring *hashRing
@@ -225,6 +233,26 @@ type Fleet struct {
 	running bool
 	closed  bool
 	runCtx  context.Context
+	// scaler is the live Run's autoscale loop (nil without WithAutoscale
+	// or between runs); round dispatch ticks it.
+	scaler *autoscaler
+	// resizing marks an in-flight Resize; rebalancing counts in-flight
+	// hot-shard sheds. They exclude each other: a new shed stands down
+	// while resizing, and Resize waits for rebalancing to reach zero
+	// (f.cond) before touching the membership — so a shed's target can
+	// never drain away mid-handoff.
+	resizing    bool
+	rebalancing int
+	// hotRuns counts each shard's consecutive hot rounds (WithRebalance
+	// hysteresis).
+	hotRuns map[int]int
+	// shedMerged records which (target shard, class) LUT warm-handoffs
+	// rebalancing already performed, for the fleet's lifetime: the
+	// workload store merge is additive, so repeating it on every shed
+	// would pile duplicate history into the target's estimates.
+	shedMerged map[shedKey]bool
+	// rebalanced counts session hops performed by hot-shard rebalancing.
+	rebalanced int
 
 	// resizeMu serializes Resize calls (a resize blocks until its
 	// migrations land; overlapping resizes would fight over victims).
@@ -305,11 +333,24 @@ func New(opts ...Option) (*Fleet, error) {
 		}
 	}
 
+	if o.autoscale != nil {
+		if err := validateAutoscale(o.autoscale, n); err != nil {
+			return nil, err
+		}
+	}
+	if o.rebalance != nil {
+		if err := validateRebalance(o.rebalance); err != nil {
+			return nil, err
+		}
+	}
+
 	f := &Fleet{
-		opts:    o,
-		seed:    seed,
-		ring:    newHashRing(seqMembers(n), o.replicas),
-		reports: make(map[int]*ShardReport),
+		opts:       o,
+		seed:       seed,
+		ring:       newHashRing(seqMembers(n), o.replicas),
+		reports:    make(map[int]*ShardReport),
+		hotRuns:    make(map[int]int),
+		shedMerged: make(map[shedKey]bool),
 	}
 	f.cond = sync.NewCond(&f.mu)
 	f.proto = o.platform
@@ -357,6 +398,12 @@ func (f *Fleet) newShardState(index int, platform *mpsoc.Platform, allocName str
 		Store:       store,
 		OnRound: func(out *core.GOPOutcome) {
 			f.dispatchRound(shard.index, out)
+			// Control loop: the round boundary is the safe point for a hot
+			// shard to shed (every session at a GOP boundary, this very
+			// goroutine the only one serving them), and the tick feeding
+			// the autoscaler's own goroutine.
+			f.maybeRebalance(shard)
+			f.tickRound()
 			if f.opts.roundHook != nil {
 				f.opts.roundHook(shard.index, out)
 			}
@@ -568,8 +615,10 @@ type Report struct {
 	Completed int
 	Rejected  int
 	Failed    int
-	// Migrated counts session migration hops performed by resizes.
+	// Migrated counts session migration hops (resize drains and hot-shard
+	// rebalances); Rebalanced counts the subset performed by WithRebalance.
 	Migrated      int
+	Rebalanced    int
 	FramesEncoded int
 	GOPReports    int
 	Energy        mpsoc.Totals
@@ -595,6 +644,10 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 	}
 	f.running = true
 	f.runCtx = ctx
+	if f.opts.autoscale != nil {
+		f.scaler = newAutoscaler(f, *f.opts.autoscale)
+	}
+	scaler := f.scaler
 	for _, s := range f.shards {
 		if s.routable() && !s.supervising {
 			f.startSupervisorLocked(ctx, s)
@@ -605,6 +658,14 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 	}
 	f.running = false
 	f.runCtx = nil
+	f.scaler = nil
+	f.mu.Unlock()
+	if scaler != nil {
+		// Stop the scaling loop and let an in-flight resize land before
+		// the report is snapshotted.
+		scaler.stop()
+	}
+	f.mu.Lock()
 	reports := make([]ShardReport, len(f.shards))
 	removed := 0
 	for i, s := range f.shards {
@@ -617,9 +678,10 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 			removed++
 		}
 	}
+	rebalanced := f.rebalanced
 	f.mu.Unlock()
 
-	rep := &Report{Shards: reports}
+	rep := &Report{Shards: reports, Rebalanced: rebalanced}
 	deadShards := 0
 	for _, sr := range reports {
 		if sr.Err != nil {
@@ -882,6 +944,18 @@ func (f *Fleet) Resize(n int) error {
 	defer f.resizeMu.Unlock()
 
 	f.mu.Lock()
+	// Exclude hot-shard rebalancing: new sheds stand down once resizing
+	// is set, and the membership is not touched until in-flight sheds
+	// land — their import targets must not drain away under them.
+	f.resizing = true
+	for f.rebalancing > 0 {
+		f.cond.Wait()
+	}
+	defer func() {
+		f.mu.Lock()
+		f.resizing = false
+		f.mu.Unlock()
+	}()
 	var live []*shardState
 	for _, s := range f.shards {
 		if s.routable() {
@@ -1109,6 +1183,18 @@ func (f *Fleet) dispatchRound(shard int, out *core.GOPOutcome) {
 		f.opts.sink.OnGOP(GOPEvent{Shard: shard, Session: id, Round: out.Round, GOP: out.GOPs[id]})
 	}
 	f.opts.sink.OnRoundMetrics(RoundEvent{Shard: shard, Outcome: out})
+}
+
+// tickRound advances the fleet-wide settled-round counter and feeds the
+// live autoscale loop. Called from serving goroutines (the OnRound wire).
+func (f *Fleet) tickRound() {
+	rounds := int(f.totalRounds.Add(1))
+	f.mu.Lock()
+	sc := f.scaler
+	f.mu.Unlock()
+	if sc != nil {
+		sc.tick(rounds)
+	}
 }
 
 // dispatchMigration delivers a session-migration event to the sink.

@@ -169,6 +169,7 @@ type recordingSink struct {
 	added      []ShardEvent
 	removed    []ShardEvent
 	migrations []MigrationEvent
+	rebalances []MigrationEvent
 }
 
 func (r *recordingSink) OnGOP(e GOPEvent) {
@@ -205,6 +206,12 @@ func (r *recordingSink) OnSessionMigrated(e MigrationEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.migrations = append(r.migrations, e)
+}
+
+func (r *recordingSink) OnSessionRebalanced(e MigrationEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rebalances = append(r.rebalances, e)
 }
 
 // TestShardCrashIsolation is the kill-one-shard acceptance criterion: a

@@ -95,6 +95,14 @@ type MigrationEvent struct {
 // target followed by the OnSessionMigrated linking the two ids, then
 // one OnShardRemoved — all after the donor's final round settled, so a
 // session's donor-side GOPs always precede its migration event.
+// Rebalancing events (Fleet control loop, DESIGN.md §10): a hot shard
+// shedding load delivers, from its own serving goroutine right after its
+// round's OnRoundMetrics, per shed session: one StateMigrated
+// OnSessionStateChange on the donor, then a StateQueued
+// OnSessionStateChange on the target, then the OnSessionRebalanced
+// linking the two ids — the same shape as a resize migration, with
+// OnSessionRebalanced in place of OnSessionMigrated and no shard-removed
+// event (the fleet keeps its size).
 type Sink interface {
 	OnGOP(e GOPEvent)
 	OnSessionStateChange(e SessionEvent)
@@ -102,18 +110,20 @@ type Sink interface {
 	OnShardAdded(e ShardEvent)
 	OnShardRemoved(e ShardEvent)
 	OnSessionMigrated(e MigrationEvent)
+	OnSessionRebalanced(e MigrationEvent)
 }
 
 // NopSink implements every Sink method as a no-op — embed it to build a
 // sink that only cares about some events.
 type NopSink struct{}
 
-func (NopSink) OnGOP(GOPEvent)                    {}
-func (NopSink) OnSessionStateChange(SessionEvent) {}
-func (NopSink) OnRoundMetrics(RoundEvent)         {}
-func (NopSink) OnShardAdded(ShardEvent)           {}
-func (NopSink) OnShardRemoved(ShardEvent)         {}
-func (NopSink) OnSessionMigrated(MigrationEvent)  {}
+func (NopSink) OnGOP(GOPEvent)                     {}
+func (NopSink) OnSessionStateChange(SessionEvent)  {}
+func (NopSink) OnRoundMetrics(RoundEvent)          {}
+func (NopSink) OnShardAdded(ShardEvent)            {}
+func (NopSink) OnShardRemoved(ShardEvent)          {}
+func (NopSink) OnSessionMigrated(MigrationEvent)   {}
+func (NopSink) OnSessionRebalanced(MigrationEvent) {}
 
 // MultiSink fans every event out to each sink in order.
 func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
@@ -156,6 +166,12 @@ func (m multiSink) OnSessionMigrated(e MigrationEvent) {
 	}
 }
 
+func (m multiSink) OnSessionRebalanced(e MigrationEvent) {
+	for _, s := range m {
+		s.OnSessionRebalanced(e)
+	}
+}
+
 // RingSink is the bounded-memory replacement for ServiceReport: it keeps
 // exact aggregate counters (rounds, frames, GOP reports, energy totals,
 // terminal states) forever and the most recent Capacity round outcomes in
@@ -180,6 +196,7 @@ type RingSink struct {
 	energy     mpsoc.Totals
 
 	migrations    int
+	rebalances    int
 	shardsAdded   int
 	shardsRemoved int
 
@@ -258,11 +275,25 @@ func (s *RingSink) OnSessionMigrated(MigrationEvent) {
 	s.migrations++
 }
 
-// Migrations reports how many session-migration hops the sink saw.
+func (s *RingSink) OnSessionRebalanced(MigrationEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rebalances++
+}
+
+// Migrations reports how many session-migration hops the sink saw
+// (resize drains; rebalance hops are counted by Rebalances).
 func (s *RingSink) Migrations() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.migrations
+}
+
+// Rebalances reports how many hot-shard rebalance hops the sink saw.
+func (s *RingSink) Rebalances() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebalances
 }
 
 // Resizes reports how many shards were added and removed.
@@ -502,7 +533,7 @@ type jsonlShard struct {
 }
 
 type jsonlMigration struct {
-	Event       string `json:"event"` // "session_migrated"
+	Event       string `json:"event"` // "session_migrated" / "session_rebalanced"
 	FromShard   int    `json:"from_shard"`
 	FromSession int    `json:"from_session"`
 	ToShard     int    `json:"to_shard"`
@@ -565,8 +596,16 @@ func (s *JSONLSink) OnShardRemoved(e ShardEvent) {
 }
 
 func (s *JSONLSink) OnSessionMigrated(e MigrationEvent) {
+	s.emitMigration("session_migrated", e)
+}
+
+func (s *JSONLSink) OnSessionRebalanced(e MigrationEvent) {
+	s.emitMigration("session_rebalanced", e)
+}
+
+func (s *JSONLSink) emitMigration(event string, e MigrationEvent) {
 	s.emit(jsonlMigration{
-		Event:       "session_migrated",
+		Event:       event,
 		FromShard:   e.FromShard,
 		FromSession: e.FromSession,
 		ToShard:     e.ToShard,
