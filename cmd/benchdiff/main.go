@@ -4,17 +4,23 @@
 // Two modes:
 //
 //	benchdiff -parse bench.txt                 # text → JSON on stdout
-//	benchdiff -baseline BENCH_pr5.json -current BENCH_ci.json \
-//	          -metric gops/svc-sec -max-drop 0.20
+//	benchdiff -baseline BENCH_pr6.json -current BENCH_ci.json \
+//	          -metric gops/svc-sec -max-drop 0.20 -low-metric ns/op -max-rise 0.20
 //
 // Parse averages repeated runs (-count N) of each benchmark and keeps
 // every reported metric (ns/op, custom b.ReportMetric units, ...).
 // Compare fails (exit 1) when any benchmark present in both files drops
 // more than -max-drop on a higher-is-better metric like gops/svc-sec —
-// chosen as the gate because it is measured in simulated *service* time
-// (rounds × GOP seconds), so it is stable across runner hardware where
-// wall-clock ns/op is not. A benchmark missing from the current file
-// fails too: a gate that silently stops measuring is no gate.
+// chosen as the primary gate because it is measured in simulated
+// *service* time (rounds × GOP seconds), so it is stable across runner
+// hardware where wall-clock ns/op is not. -low-metric adds a second,
+// lower-is-better gate (typically ns/op) that fails when the current
+// value rises more than -max-rise above the baseline — the coarse
+// wall-clock backstop that catches a real slowdown the service-time
+// metric cannot see, which is why its default tolerance is the same 20%
+// but measured in the other direction. A benchmark missing from the
+// current file fails too: a gate that silently stops measuring is no
+// gate.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -37,11 +44,13 @@ type Baseline struct {
 
 func main() {
 	var (
-		parse    = flag.String("parse", "", "parse `go test -bench` output FILE and print the JSON baseline")
-		baseline = flag.String("baseline", "", "committed baseline JSON")
-		current  = flag.String("current", "", "freshly measured JSON to compare against the baseline")
-		metric   = flag.String("metric", "gops/svc-sec", "higher-is-better metric to gate on")
-		maxDrop  = flag.Float64("max-drop", 0.20, "maximum tolerated fractional drop below the baseline")
+		parse     = flag.String("parse", "", "parse `go test -bench` output FILE and print the JSON baseline")
+		baseline  = flag.String("baseline", "", "committed baseline JSON")
+		current   = flag.String("current", "", "freshly measured JSON to compare against the baseline")
+		metric    = flag.String("metric", "gops/svc-sec", "higher-is-better metric to gate on")
+		maxDrop   = flag.Float64("max-drop", 0.20, "maximum tolerated fractional drop below the baseline")
+		lowMetric = flag.String("low-metric", "", "optional lower-is-better metric to gate on as well (e.g. ns/op)")
+		maxRise   = flag.Float64("max-rise", 0.20, "maximum tolerated fractional rise above the baseline on -low-metric")
 	)
 	flag.Parse()
 
@@ -65,11 +74,15 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if !compare(base, cur, *metric, *maxDrop) {
+		ok := compare(base, cur, *metric, *maxDrop, false)
+		if *lowMetric != "" {
+			ok = compare(base, cur, *lowMetric, *maxRise, true) && ok
+		}
+		if !ok {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse FILE | benchdiff -baseline a.json -current b.json [-metric M] [-max-drop F]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse FILE | benchdiff -baseline a.json -current b.json [-metric M] [-max-drop F] [-low-metric M] [-max-rise F]")
 		os.Exit(2)
 	}
 }
@@ -154,8 +167,10 @@ func loadBaseline(path string) (*Baseline, error) {
 }
 
 // compare prints a per-benchmark table of the gated metric and returns
-// false when any gated benchmark regressed past maxDrop or vanished.
-func compare(base, cur *Baseline, metric string, maxDrop float64) bool {
+// false when any gated benchmark vanished or regressed past tolerance —
+// dropped below it for a higher-is-better metric, risen above it for a
+// lower-is-better one.
+func compare(base, cur *Baseline, metric string, tolerance float64, lowerIsBetter bool) bool {
 	var names []string
 	for name, metrics := range base.Benchmarks {
 		if _, ok := metrics[metric]; ok {
@@ -174,13 +189,19 @@ func compare(base, cur *Baseline, metric string, maxDrop float64) bool {
 		if m := cur.Benchmarks[name]; m != nil {
 			got, present = m[metric]
 		}
+		regressed := want > 0 && got < want*(1-tolerance)
+		direction := "drop"
+		if lowerIsBetter {
+			regressed = want > 0 && got > want*(1+tolerance)
+			direction = "rise"
+		}
 		switch {
 		case !present:
 			fmt.Printf("FAIL %-40s %s: missing from current run (baseline %.2f)\n", name, metric, want)
 			ok = false
-		case want > 0 && got < want*(1-maxDrop):
-			fmt.Printf("FAIL %-40s %s: %.2f → %.2f (%.1f%% drop > %.0f%% allowed)\n",
-				name, metric, want, got, 100*(1-got/want), 100*maxDrop)
+		case regressed:
+			fmt.Printf("FAIL %-40s %s: %.2f → %.2f (%.1f%% %s > %.0f%% allowed)\n",
+				name, metric, want, got, 100*math.Abs(got/want-1), direction, 100*tolerance)
 			ok = false
 		default:
 			delta := 0.0

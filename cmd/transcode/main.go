@@ -61,29 +61,40 @@ func main() {
 
 		minShards  = flag.Int("min-shards", 0, "autoscaler floor (0 = -shards); the fleet never shrinks below this")
 		maxShards  = flag.Int("max-shards", 0, "autoscaler ceiling (0 = -shards); the fleet never grows beyond this")
-		targetLoad = flag.Int("target-load", 4, "autoscaler target live sessions per shard")
+		targetUtil = flag.Float64("target-util", 0.75, "autoscaler target demand-normalized utilization (summed core demand over summed capacity)")
 		scaleAfter = flag.Int("scale-window", 2, "consecutive saturated/idle observations before the autoscaler resizes")
 		resizeAt   = flag.String("resize-at", "", "forced resize schedule ROUND:SHARDS[,ROUND:SHARDS...] on total fleet rounds (e.g. 6:4,14:3)")
 		stagger    = flag.Int("stagger", 0, "submit one user every N fleet rounds instead of all upfront (0 = upfront)")
+		shardSess  = flag.Int("shard-sessions", 0, "cap each shard's live sessions for routing; overflow spills to the least-utilized shard (0 = even share of the users)")
+
+		shardCores = flag.String("shard-cores", "", "per-shard core counts N[,N...] (e.g. 8,16,32): builds a heterogeneous fleet (overrides -shards) and turns on demand-aware placement")
+		pixPerCore = flag.Float64("pixels-per-core", 0, "demand-aware placement price: luma pixels per second one core transcodes (0 = serve default)")
+		fourkEvery = flag.Int("fourk-every", 0, "give every Nth user a doubled-resolution stream in a separate \"-4k\" workload class (0 = off)")
 
 		hotClass  = flag.String("hot-class", "", "give every user this body-part class (skews the class routing onto one shard)")
-		rebFactor = flag.Float64("rebalance-factor", 0, "shed a shard whose load exceeds this multiple of the fleet mean (0 = rebalancing off, must be > 1)")
+		rebFactor = flag.Float64("rebalance-factor", 0, "shed a shard whose utilization exceeds this multiple of the fleet mean (0 = rebalancing off, must be > 1)")
 		rebWindow = flag.Int("rebalance-window", 2, "consecutive hot rounds before a shard sheds sessions")
 	)
 	flag.Parse()
+
+	cores, err := parseShardCores(*shardCores)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	// An interrupt cancels cleanly at the next tile boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *users > 1 || *shards > 1 {
+	if *users > 1 || *shards > 1 || len(cores) > 0 {
 		err := serveFleet(ctx, fleetOpts{
 			users: *users, shards: *shards, width: *width, height: *height,
 			frames: *frames, seed: *seed, mode: *modeFlag,
 			allocator: *allocator, sink: *sinkFlag, luts: *lutsPath,
 			minShards: *minShards, maxShards: *maxShards,
-			targetLoad: *targetLoad, scaleWindow: *scaleAfter,
-			resizeAt: *resizeAt, stagger: *stagger,
+			targetUtil: *targetUtil, scaleWindow: *scaleAfter,
+			resizeAt: *resizeAt, stagger: *stagger, shardSessions: *shardSess,
+			shardCores: cores, pixPerCore: *pixPerCore, fourkEvery: *fourkEvery,
 			hotClass: *hotClass, rebFactor: *rebFactor, rebWindow: *rebWindow,
 		})
 		if err != nil {
@@ -182,14 +193,38 @@ type fleetOpts struct {
 	seed                                 int64
 	mode, allocator, sink, luts          string
 
-	minShards, maxShards    int
-	targetLoad, scaleWindow int
-	resizeAt                string
-	stagger                 int
+	minShards, maxShards int
+	targetUtil           float64
+	scaleWindow          int
+	resizeAt             string
+	stagger              int
+	shardSessions        int
+
+	shardCores []int
+	pixPerCore float64
+	fourkEvery int
 
 	hotClass  string
 	rebFactor float64
 	rebWindow int
+}
+
+// parseShardCores parses the -shard-cores list ("8,16,32") into per-shard
+// core counts; empty input means a homogeneous fleet.
+func parseShardCores(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shard-cores entry %q (want a positive core count)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // buildSink maps the -sink flag to a serve.Sink; the returned RingSink
@@ -261,6 +296,10 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	default:
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
+	// A heterogeneous core list defines the shard count.
+	if len(o.shardCores) > 0 {
+		o.shards = len(o.shardCores)
+	}
 	if o.minShards <= 0 {
 		o.minShards = o.shards
 	}
@@ -300,17 +339,24 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	// Cap each shard's live sessions at an even share of the submitted
 	// users: the synthetic corpus has only a handful of workload classes,
 	// so pure class routing can pile everyone on one shard — the capacity
-	// bound spills the overflow to the least-loaded shards. An elastic
-	// run instead caps shards at the autoscaler's per-shard target, so
-	// "shard full" means the same thing to routing and to scaling. A
-	// skewed -hot-class run leaves routing unbounded: the point is to let
-	// one shard run hot and watch the rebalancer shed it.
+	// bound spills the overflow to the least-utilized shards. An elastic
+	// run caps shards at an even share of the fleet's widest size, so a
+	// grown fleet can actually absorb the spill; tighten it explicitly
+	// with -shard-sessions when the run should spill earlier. A
+	// heterogeneous -shard-cores run leaves the session count unbounded —
+	// demand-aware placement weighs sessions by core demand, which a
+	// uniform session cap would fight. A skewed -hot-class run is
+	// unbounded too: the point is to let one shard run hot and watch the
+	// rebalancer shed it.
 	capacity := (o.users + o.shards - 1) / o.shards
 	if elastic {
-		capacity = o.targetLoad
+		capacity = (o.users + o.maxShards - 1) / o.maxShards
 	}
-	if o.hotClass != "" {
+	if o.hotClass != "" || len(o.shardCores) > 0 {
 		capacity = 0
+	}
+	if o.shardSessions > 0 {
+		capacity = o.shardSessions
 	}
 	var fleet *serve.Fleet
 	// Fleet-wide settled-round counter pacing staggered arrivals (hooks
@@ -331,11 +377,20 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		if o.hotClass != "" {
 			vc.Class = hot
 		}
+		className := vc.Class.String()
+		// Every Nth user streams at four times the area under a separate
+		// "-4k" workload class: its demand estimate and LUTs must not mix
+		// with the base class's.
+		if o.fourkEvery > 0 && (i+1)%o.fourkEvery == 0 {
+			vc.Width *= 2
+			vc.Height *= 2
+			className += "-4k"
+		}
 		gen, err := medgen.NewGenerator(vc)
 		if err != nil {
 			return err
 		}
-		src, err := core.SourceFromGenerator(gen, vc.Frames, vc.FPS, vc.Class.String())
+		src, err := core.SourceFromGenerator(gen, vc.Frames, vc.FPS, className)
 		if err != nil {
 			return err
 		}
@@ -346,12 +401,11 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 			return err
 		}
 		fmt.Printf("user %2d (%s) → shard %d (home %d)\n",
-			i, vc.Class, p.Shard, fleet.HomeShard(vc.Class.String()))
+			i, className, p.Shard, fleet.HomeShard(className))
 		return nil
 	}
 
 	fleetOptions := []serve.Option{
-		serve.WithShards(o.shards),
 		serve.WithShardCapacity(capacity),
 		serve.WithAllocator(o.allocator),
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
@@ -401,11 +455,32 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 			}
 		}),
 	}
+	if len(o.shardCores) > 0 {
+		// Heterogeneous fleet: one platform per entry, cores overridden,
+		// plus demand-aware placement so heavy classes steer to the big
+		// shards instead of wherever their ring arc happens to land.
+		platforms := make([]*mpsoc.Platform, len(o.shardCores))
+		for i, n := range o.shardCores {
+			p := mpsoc.XeonE5_2667V4()
+			p.Cores = n
+			platforms[i] = p
+		}
+		fleetOptions = append(fleetOptions,
+			serve.WithPlatforms(platforms...),
+			serve.WithDemandPlacement(serve.PlacementConfig{PixelsPerCore: o.pixPerCore}),
+		)
+	} else {
+		fleetOptions = append(fleetOptions, serve.WithShards(o.shards))
+		if o.pixPerCore > 0 {
+			fleetOptions = append(fleetOptions,
+				serve.WithDemandPlacement(serve.PlacementConfig{PixelsPerCore: o.pixPerCore}))
+		}
+	}
 	if elastic {
 		fleetOptions = append(fleetOptions, serve.WithAutoscale(serve.AutoscaleConfig{
 			MinShards:  o.minShards,
 			MaxShards:  o.maxShards,
-			TargetLoad: o.targetLoad,
+			TargetUtil: o.targetUtil,
 			Window:     o.scaleWindow,
 			Schedule:   forced,
 			OnResize: func(from, to int, reason string) {
@@ -452,8 +527,13 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		fleet.Close()
 	}
 
-	fmt.Printf("\nserving %d users on %d shard(s) of %d cores each (min %d, max %d), allocator %q\n\n",
-		o.users, o.shards, mpsoc.XeonE5_2667V4().Cores, o.minShards, o.maxShards, o.allocator)
+	if len(o.shardCores) > 0 {
+		fmt.Printf("\nserving %d users on %d shards of %v cores (min %d, max %d), allocator %q\n\n",
+			o.users, o.shards, o.shardCores, o.minShards, o.maxShards, o.allocator)
+	} else {
+		fmt.Printf("\nserving %d users on %d shard(s) of %d cores each (min %d, max %d), allocator %q\n\n",
+			o.users, o.shards, mpsoc.XeonE5_2667V4().Cores, o.minShards, o.maxShards, o.allocator)
+	}
 	rep, runErr := fleet.Run(ctx)
 	if cerr := closeSink(); cerr != nil && runErr == nil {
 		runErr = cerr

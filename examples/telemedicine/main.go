@@ -79,14 +79,15 @@ func main() {
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
 		serve.WithAdmission(core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16, RecoverAfterRounds: 3}),
 		serve.WithSink(ring),
-		// The fleet scales itself: more than TargetLoad consultations per
-		// shard for Window consecutive rounds opens a third shard; once
-		// the remaining shards could absorb everyone, the extra shard
+		// The fleet scales itself: when the consultations' summed core
+		// demand pushes the fleet past TargetUtil of its capacity for
+		// Window consecutive rounds, a third shard opens; once the demand
+		// would again fit within TargetUtil on two shards, the extra shard
 		// drains — live consultations migrate at a GOP boundary.
 		serve.WithAutoscale(serve.AutoscaleConfig{
 			MinShards:  2,
 			MaxShards:  3,
-			TargetLoad: 2,
+			TargetUtil: 0.75,
 			Window:     1,
 			OnResize: func(from, to int, reason string) {
 				if to > from {

@@ -1,0 +1,76 @@
+package core
+
+// LoadReport is a shard's structured load signal: not just how many
+// sessions it holds, but how many cores they collectively demand and how
+// big the shard is. Session counts lie on a fleet whose sessions differ
+// by an order of magnitude in workload (the premise of the paper's
+// LUT-driven estimator) and whose shards differ in core count
+// (serve.WithPlatforms); demand normalized by capacity is the one signal
+// that compares shards fairly, so routing fallback, autoscaling and
+// hot-shard rebalancing all read this struct instead of an int.
+type LoadReport struct {
+	// Sessions counts submitted sessions not yet in a terminal state —
+	// the historical Load() int.
+	Sessions int
+	// DemandCores sums the live sessions' core demands: each session's
+	// sched.Result.DemandCores from the last round it competed, its
+	// SessionConfig.DemandHint before it first competes, and never less
+	// than one core per session — so DemandCores ≥ Sessions always.
+	DemandCores int
+	// CapacityCores is the shard platform's core count.
+	CapacityCores int
+	// Util is DemandCores / CapacityCores — demand-normalized
+	// utilization. 0 on an idle shard; above 1 on an overloaded one
+	// (demand is a requirement, not an occupancy, so it is not clamped).
+	Util float64
+	// Alive distinguishes a serving shard from a retired slot. A Server
+	// always reports itself alive; the fleet layer zeroes the report and
+	// clears Alive for shards that are removed, draining or given up, and
+	// excludes them from fleet means.
+	Alive bool
+}
+
+// Free returns the spare capacity in cores (negative when overloaded).
+func (r LoadReport) Free() int { return r.CapacityCores - r.DemandCores }
+
+// LoadReport reports the server's structured load: live sessions, their
+// summed core demand, the platform capacity, and the resulting
+// utilization. Safe from any goroutine.
+func (s *Server) LoadReport() LoadReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := LoadReport{CapacityCores: s.cfg.Platform.Cores, Alive: true}
+	for _, rec := range s.records {
+		if rec.state != StateQueued {
+			continue
+		}
+		r.Sessions++
+		r.DemandCores += demandFloor(rec.lastDemand)
+	}
+	if r.CapacityCores > 0 {
+		r.Util = float64(r.DemandCores) / float64(r.CapacityCores)
+	}
+	return r
+}
+
+// SessionDemand reports one queued session's core demand — its
+// sched.Result.DemandCores from the last round it competed, or its
+// placement-time hint before that, never less than 1. Terminal or unknown
+// ids report 0. Safe from any goroutine.
+func (s *Server) SessionDemand(id int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.records) || s.records[id].state != StateQueued {
+		return 0
+	}
+	return demandFloor(s.records[id].lastDemand)
+}
+
+// demandFloor clamps a recorded demand to the one-core minimum every
+// queued session occupies (sched gives no user fewer than one core).
+func demandFloor(d int) int {
+	if d < 1 {
+		return 1
+	}
+	return d
+}

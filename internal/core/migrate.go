@@ -55,6 +55,12 @@ type SessionSnapshot struct {
 	QPOffset   int
 	Degraded   bool
 	RateHalved bool
+	// Demand is the session's core demand as the donor last saw it
+	// (sched.Result.DemandCores, or the placement hint before the first
+	// competed round). Import seeds the target's record with it so the
+	// target's LoadReport reflects the adopted session's true weight
+	// before it competes there.
+	Demand int
 	// Rung, Waited and SkipRound are the donor record's admission-ladder
 	// bookkeeping: the highest rung applied, the consecutive rounds
 	// waited after the ladder ran out, and whether the session owes a
@@ -121,6 +127,7 @@ func (s *Server) ExportSessions() ([]*SessionSnapshot, error) {
 			QPOffset:   sess.QPOffset(),
 			Degraded:   sess.Degraded(),
 			RateHalved: sess.RateHalved(),
+			Demand:     rec.lastDemand,
 			Rung:       rec.rung,
 			Waited:     rec.waited,
 			SkipRound:  rec.skipRound,
@@ -172,6 +179,7 @@ func (s *Server) ExportSession(id int) (*SessionSnapshot, error) {
 		QPOffset:   sess.QPOffset(),
 		Degraded:   sess.Degraded(),
 		RateHalved: sess.RateHalved(),
+		Demand:     rec.lastDemand,
 		Rung:       rec.rung,
 		Waited:     rec.waited,
 		SkipRound:  rec.skipRound,
@@ -203,12 +211,13 @@ func (s *Server) Import(snap *SessionSnapshot) (*Session, error) {
 	lut := s.store.ForClass(snap.Class)
 	sess.adopt(len(s.records), lut, s.cfg.Workers)
 	s.records = append(s.records, &sessionRecord{
-		sess:      sess,
-		lut:       lut,
-		rung:      snap.Rung,
-		waited:    snap.Waited,
-		skipRound: snap.SkipRound,
-		imported:  true,
+		sess:       sess,
+		lut:        lut,
+		rung:       snap.Rung,
+		waited:     snap.Waited,
+		skipRound:  snap.SkipRound,
+		imported:   true,
+		lastDemand: snap.Demand,
 	})
 	s.mu.Unlock()
 	s.wake()

@@ -252,7 +252,7 @@ func (s *Server) Submit(src FrameSource, cfg SessionConfig) (*Session, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	s.records = append(s.records, &sessionRecord{sess: sess, lut: lut})
+	s.records = append(s.records, &sessionRecord{sess: sess, lut: lut, lastDemand: cfg.DemandHint})
 	s.mu.Unlock()
 	s.wake()
 	s.notifyState(sess.ID, StateQueued, nil)
@@ -268,8 +268,13 @@ func (s *Server) notifyState(id int, state SessionState, err error) {
 }
 
 // Load reports how many submitted sessions have not yet reached a terminal
-// state — the queue depth a dispatcher balances across shards. Safe from
-// any goroutine.
+// state. Safe from any goroutine.
+//
+// Deprecated: the session count is a poor load signal on heterogeneous
+// fleets with non-uniform sessions — use LoadReport, which carries the
+// sessions' summed core demand and the platform capacity alongside the
+// count. Load is kept for callers (and tests) that pin the plain queue
+// depth.
 func (s *Server) Load() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

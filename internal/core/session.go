@@ -64,6 +64,13 @@ type SessionConfig struct {
 	// that re-weights motion-estimation time to an HEVC encoder's cost
 	// structure (see experiments.KvazaarTimeModel).
 	TimeModel func(codec.TileStats) time.Duration
+	// DemandHint seeds the session's core-demand estimate for load
+	// reporting (Server.LoadReport) before its first round competes —
+	// the serving layer's placement estimate rides in here so a shard's
+	// demand reflects a just-placed session immediately. The allocator's
+	// sched.Result.DemandCores replaces it every round the session
+	// competes; 0 leaves the pre-first-round demand at the one-core floor.
+	DemandHint int
 	// KeepBitstreams retains each frame's encoded payload in
 	// FrameReport.Bitstream, so callers can decode-verify or persist the
 	// output. Off by default: a long-running service would otherwise hold

@@ -26,7 +26,16 @@ type Shard interface {
 	// cancellation, or a round-level error.
 	Run(ctx context.Context) (*ServiceReport, error)
 	// Load reports how many submitted sessions are not yet terminal.
+	//
+	// Deprecated: use LoadReport — the session count alone misleads on
+	// heterogeneous fleets with non-uniform sessions.
 	Load() int
+	// LoadReport reports the structured load signal: live sessions, their
+	// summed core demand, the platform capacity, and the utilization.
+	LoadReport() LoadReport
+	// SessionDemand reports one queued session's core demand (0 for
+	// terminal or unknown ids) — what a rebalancer sheds by.
+	SessionDemand(id int) int
 	// StateOf reports the lifecycle state of a session by id.
 	StateOf(id int) (SessionState, bool)
 	// Store exposes the shard's per-class workload LUT store.

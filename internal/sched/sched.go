@@ -88,6 +88,23 @@ type Result struct {
 	DemandCores map[int]int
 }
 
+// DemandOf computes every candidate user's core demand (Algorithm 2
+// line 1) without running admission or allocation: ceil(Σ_j T_fmax,j ·
+// FPS) per user, never less than 1. It is the pre-admission load signal —
+// the serving layer prices a session's threads through it to decide
+// *where* a session should live before any allocator has seen it, and a
+// shard's utilization is its queued sessions' demands over its cores.
+func DemandOf(in Input) (map[int]int, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, len(in.Users))
+	for _, u := range in.Users {
+		out[u.User] = u.CoresNeeded(in.FPS)
+	}
+	return out, nil
+}
+
 // CoresOf returns the number of distinct cores assigned to a user,
 // never less than 1 so it can be used directly as a worker budget.
 func (r *Result) CoresOf(user int) int {

@@ -37,6 +37,21 @@ func TestCoresNeeded(t *testing.T) {
 	}
 }
 
+func TestDemandOf(t *testing.T) {
+	// DemandOf is the pre-admission pricing entry: per-user CoresNeeded
+	// under the input's FPS, no allocation.
+	got, err := DemandOf(input(demand(0, ms(30)), demand(1, ms(30), ms(30), ms(30))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("DemandOf = %v, want {0:1, 1:3}", got)
+	}
+	if _, err := DemandOf(Input{Platform: nil, FPS: 24, Users: []UserDemand{demand(0, ms(1))}}); err == nil {
+		t.Fatal("DemandOf accepted an invalid input")
+	}
+}
+
 func TestValidation(t *testing.T) {
 	bad := []Input{
 		{Platform: nil, FPS: 24, Users: []UserDemand{demand(0, ms(1))}},

@@ -8,11 +8,12 @@ import (
 // The fleet control loop, part 1: autoscaling (DESIGN.md §10). The paper's
 // per-MPSoC controller reacts to load every GOP; WithAutoscale lifts the
 // same closed-loop idea one level up — Fleet.Run watches the fleet-wide
-// live-session count every settled round and calls Resize through a
-// hysteresis window, so every embedder scales without re-implementing the
-// loop. The policy kernel (scalePolicy) is pure state-machine code,
-// separated from the goroutine plumbing so tests can drive it round by
-// round.
+// demand-normalized utilization (summed session core demand over summed
+// alive-shard capacity, see core.LoadReport) every settled round and calls
+// Resize through a hysteresis window, so every embedder scales without
+// re-implementing the loop. The policy kernel (scalePolicy) is pure
+// state-machine code, separated from the goroutine plumbing so tests can
+// drive it round by round.
 
 // ScheduledResize is one forced entry of an autoscale schedule: once the
 // fleet has served AfterRounds total rounds, resize to Shards. Schedules
@@ -31,11 +32,17 @@ type AutoscaleConfig struct {
 	// bounds widens them (an explicit schedule is never silently clamped
 	// into a no-op).
 	MinShards, MaxShards int
-	// TargetLoad is the live-session count per shard the loop steers
-	// toward: it grows when the fleet holds more than TargetLoad sessions
-	// per live shard, and shrinks when the remaining shards could absorb
-	// the whole load at TargetLoad each (default 4).
-	TargetLoad int
+	// TargetUtil is the demand-normalized utilization the loop steers
+	// toward (default 0.75): it grows when the fleet-wide utilization —
+	// summed session core demand over summed alive-shard capacity —
+	// exceeds TargetUtil, and shrinks when the demand would still fit
+	// within TargetUtil on the capacity that remains after retiring the
+	// highest-indexed shard. Demand-weighted on heterogeneous fleets: a
+	// big shard absorbs proportionally more demand before the fleet
+	// counts as saturated. (This knob replaced the session-count
+	// TargetLoad — sessions differing by an order of magnitude in demand
+	// made a per-shard session target meaningless.)
+	TargetUtil float64
 	// Window is the hysteresis: that many consecutive saturated (or idle)
 	// round observations before a resize, and any observation on the other
 	// side of the threshold resets the count (default 2).
@@ -62,11 +69,11 @@ func WithAutoscale(cfg AutoscaleConfig) Option {
 // validateAutoscale applies defaults and checks the config against the
 // fleet's initial shard count n. Called from New.
 func validateAutoscale(cfg *AutoscaleConfig, n int) error {
-	if cfg.TargetLoad == 0 {
-		cfg.TargetLoad = 4
+	if cfg.TargetUtil == 0 {
+		cfg.TargetUtil = 0.75
 	}
-	if cfg.TargetLoad < 0 {
-		return fmt.Errorf("serve: autoscale target load %d", cfg.TargetLoad)
+	if !(cfg.TargetUtil > 0) { // NaN-safe
+		return fmt.Errorf("serve: autoscale target utilization %v", cfg.TargetUtil)
 	}
 	if cfg.Window == 0 {
 		cfg.Window = 2
@@ -100,12 +107,46 @@ func validateAutoscale(cfg *AutoscaleConfig, n int) error {
 	return nil
 }
 
+// loadObservation is one settled-round snapshot of the alive shards —
+// what the scale policy decides on. Dead shards (Alive false in
+// Fleet.Loads) contribute nothing.
+type loadObservation struct {
+	// live counts the alive shards.
+	live int
+	// demand and capacity sum the alive shards' DemandCores and
+	// CapacityCores.
+	demand, capacity int
+	// retireCap is the capacity of the shard a shrink would remove — the
+	// highest-indexed alive shard (0 when none).
+	retireCap int
+}
+
+// util is the fleet-wide demand-normalized utilization.
+func (o loadObservation) util() float64 {
+	if o.capacity <= 0 {
+		return 0
+	}
+	return float64(o.demand) / float64(o.capacity)
+}
+
+// shrunkUtil is the utilization the fleet would run at after retiring the
+// highest-indexed alive shard; +Inf-like sentinel via capacity 0 is
+// avoided by reporting util 0 only when nothing would remain (the bounds
+// check keeps such a shrink from firing anyway).
+func (o loadObservation) shrunkUtil() float64 {
+	rem := o.capacity - o.retireCap
+	if rem <= 0 {
+		return 0
+	}
+	return float64(o.demand) / float64(rem)
+}
+
 // scalePolicy is the pure decision kernel: fed one observation per settled
 // fleet round, it says when to resize and to what. Not safe for concurrent
 // use — the autoscaler goroutine owns it (and tests drive it directly).
 type scalePolicy struct {
 	min, max int
-	target   int
+	target   float64
 	window   int
 	schedule []ScheduledResize
 
@@ -118,22 +159,25 @@ func newScalePolicy(cfg AutoscaleConfig) *scalePolicy {
 	return &scalePolicy{
 		min:      cfg.MinShards,
 		max:      cfg.MaxShards,
-		target:   cfg.TargetLoad,
+		target:   cfg.TargetUtil,
 		window:   cfg.Window,
 		schedule: sched,
 	}
 }
 
 // observe feeds one settled-round observation: rounds is the total fleet
-// round count, live the routable shard count, total the fleet-wide live
-// sessions. It returns the shard count to resize to (clamped to the
-// bounds) and the reason when a resize is due. A pending schedule entry
-// fires first and suppresses the load policy; the load policy itself
-// resizes one shard at a time after window consecutive observations on
-// the same side of the target, with any contrary observation resetting
-// the run — the hysteresis that keeps a load oscillating around the
-// threshold from ping-ponging the fleet.
-func (p *scalePolicy) observe(rounds, live, total int) (int, string, bool) {
+// round count, obs the alive shards' demand/capacity snapshot. It returns
+// the shard count to resize to (clamped to the bounds) and the reason
+// when a resize is due. A pending schedule entry fires first and
+// suppresses the load policy; the load policy itself resizes one shard at
+// a time after window consecutive observations on the same side of the
+// target utilization, with any contrary observation resetting the run —
+// the hysteresis that keeps a load oscillating around the threshold from
+// ping-ponging the fleet. Growth and shrink cannot ping-pong each other
+// either: a grow fires at util above target, and the shrink test asks
+// whether the demand fits within target on the *post-shrink* capacity —
+// right after a justified grow it cannot.
+func (p *scalePolicy) observe(rounds int, obs loadObservation) (int, string, bool) {
 	if len(p.schedule) > 0 {
 		if rounds >= p.schedule[0].AfterRounds {
 			st := p.schedule[0]
@@ -142,23 +186,23 @@ func (p *scalePolicy) observe(rounds, live, total int) (int, string, bool) {
 		}
 		return 0, "", false // let the schedule play out before reacting to load
 	}
-	if p.min >= p.max || live == 0 {
+	if p.min >= p.max || obs.live == 0 {
 		return 0, "", false
 	}
 	switch {
-	case live < p.max && total > live*p.target:
+	case obs.live < p.max && obs.util() > p.target:
 		p.upRun++
 		p.dnRun = 0
 		if p.upRun >= p.window {
 			p.upRun = 0
-			return p.clamp(live + 1), fmt.Sprintf("sustained saturation (%d sessions on %d shards)", total, live), true
+			return p.clamp(obs.live + 1), fmt.Sprintf("sustained saturation (util %.2f over %d shards)", obs.util(), obs.live), true
 		}
-	case live > p.min && total <= (live-1)*p.target:
+	case obs.live > p.min && obs.shrunkUtil() <= p.target:
 		p.dnRun++
 		p.upRun = 0
 		if p.dnRun >= p.window {
 			p.dnRun = 0
-			return p.clamp(live - 1), fmt.Sprintf("sustained idleness (%d sessions on %d shards)", total, live), true
+			return p.clamp(obs.live - 1), fmt.Sprintf("sustained idleness (util %.2f after retiring one of %d shards)", obs.shrunkUtil(), obs.live), true
 		}
 	default:
 		p.upRun, p.dnRun = 0, 0
@@ -232,8 +276,7 @@ func (a *autoscaler) loop() {
 			// back (each resize lands before the next is considered); the
 			// load policy decides at most once per tick.
 			for {
-				live, total := a.fleet.loadSummary()
-				n, reason, ok := a.policy.observe(rounds, live, total)
+				n, reason, ok := a.policy.observe(rounds, a.fleet.loadObservation())
 				if !ok {
 					break
 				}
@@ -260,15 +303,19 @@ func (a *autoscaler) resize(n int, reason string) {
 	}
 }
 
-// loadSummary counts the routable shards and their summed live sessions —
-// the autoscale policy's observation.
-func (f *Fleet) loadSummary() (live, total int) {
-	for _, l := range f.Loads() {
-		if l < 0 {
+// loadObservation snapshots the alive shards' demand and capacity — the
+// autoscale policy's observation.
+func (f *Fleet) loadObservation() loadObservation {
+	var o loadObservation
+	for _, r := range f.Loads() {
+		if !r.Alive {
 			continue
 		}
-		live++
-		total += l
+		o.live++
+		o.demand += r.DemandCores
+		o.capacity += r.CapacityCores
+		// The highest-indexed alive shard is the one a shrink retires.
+		o.retireCap = r.CapacityCores
 	}
-	return live, total
+	return o
 }

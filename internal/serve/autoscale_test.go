@@ -6,43 +6,73 @@ import (
 	"testing"
 )
 
+// obsOf builds a homogeneous-fleet observation: live shards of shardCap
+// cores each, carrying the given summed core demand.
+func obsOf(live, demand, shardCap int) loadObservation {
+	return loadObservation{live: live, demand: demand, capacity: live * shardCap, retireCap: shardCap}
+}
+
 // TestScalePolicyNoFlapHysteresis is the serve-layer no-flap guarantee: a
 // load oscillating around the scale-up threshold — saturated one round,
 // back under it the next — must never trigger a resize, because every
 // contrary observation resets the hysteresis window. Same for the
 // scale-down threshold.
 func TestScalePolicyNoFlapHysteresis(t *testing.T) {
-	p := newScalePolicy(AutoscaleConfig{MinShards: 1, MaxShards: 4, TargetLoad: 4, Window: 2})
+	p := newScalePolicy(AutoscaleConfig{MinShards: 1, MaxShards: 4, TargetUtil: 0.5, Window: 2})
 
-	// live=2, target=4: saturated above 8, idle at or below 4.
+	// 2 shards × 32 cores, target util 0.5: saturated above 32 demanded
+	// cores, idle (one shard retirable) at or below 16.
 	for round := 0; round < 40; round++ {
-		total := 9 // one over the saturation threshold...
+		demand := 33 // one over the saturation threshold...
 		if round%2 == 1 {
-			total = 8 // ...then exactly at it (not saturated, not idle)
+			demand = 32 // ...then exactly at it (not saturated, not idle)
 		}
-		if n, reason, ok := p.observe(round, 2, total); ok {
+		if n, reason, ok := p.observe(round, obsOf(2, demand, 32)); ok {
 			t.Fatalf("round %d: oscillating load triggered resize to %d (%s)", round, n, reason)
 		}
 	}
 
 	// Oscillation around the scale-down threshold: idle, then busy again.
 	for round := 0; round < 40; round++ {
-		total := 4 // at the idle threshold...
+		demand := 16 // at the idle threshold...
 		if round%2 == 1 {
-			total = 5 // ...then just above it
+			demand = 17 // ...then just above it
 		}
-		if n, reason, ok := p.observe(round, 2, total); ok {
+		if n, reason, ok := p.observe(round, obsOf(2, demand, 32)); ok {
 			t.Fatalf("round %d: oscillating load triggered shrink to %d (%s)", round, n, reason)
 		}
 	}
 
 	// Control: the same load *sustained* for the window does resize.
-	if _, _, ok := p.observe(0, 2, 9); ok {
+	if _, _, ok := p.observe(0, obsOf(2, 33, 32)); ok {
 		t.Fatal("resized before the window elapsed")
 	}
-	n, reason, ok := p.observe(1, 2, 9)
+	n, reason, ok := p.observe(1, obsOf(2, 33, 32))
 	if !ok || n != 3 {
 		t.Fatalf("sustained saturation: got (%d, %q, %v), want grow to 3", n, reason, ok)
+	}
+}
+
+// TestScalePolicyHeterogeneousShrink: the shrink test prices the shard a
+// shrink would actually retire (the highest-indexed alive one) — on a
+// heterogeneous fleet the same demand that is comfortably idle when the
+// retiring shard is small must hold the fleet when the retiring shard is
+// the big one.
+func TestScalePolicyHeterogeneousShrink(t *testing.T) {
+	// 8+32 cores, 18 demanded: retiring the 8-core shard leaves util
+	// 18/32 ≤ 0.6 — shrink.
+	p := newScalePolicy(AutoscaleConfig{MinShards: 1, MaxShards: 2, TargetUtil: 0.6, Window: 1})
+	small := loadObservation{live: 2, demand: 18, capacity: 40, retireCap: 8}
+	if n, _, ok := p.observe(0, small); !ok || n != 1 {
+		t.Fatalf("retiring the small shard: got (%d, %v), want shrink to 1", n, ok)
+	}
+
+	// Same fleet, same demand, but the retiring shard is the 32-core one:
+	// 18/8 would overload — must hold.
+	p = newScalePolicy(AutoscaleConfig{MinShards: 1, MaxShards: 2, TargetUtil: 0.6, Window: 1})
+	big := loadObservation{live: 2, demand: 18, capacity: 40, retireCap: 32}
+	if n, _, ok := p.observe(0, big); ok {
+		t.Fatalf("retiring the big shard would overload, but policy shrank to %d", n)
 	}
 }
 
@@ -50,7 +80,7 @@ func TestScalePolicyNoFlapHysteresis(t *testing.T) {
 // policy and is never clamped into silence (validation widens the
 // bounds); the load policy respects min/max.
 func TestScalePolicyBoundsAndSchedule(t *testing.T) {
-	cfg := AutoscaleConfig{MinShards: 2, MaxShards: 3, Window: 1, TargetLoad: 2,
+	cfg := AutoscaleConfig{MinShards: 2, MaxShards: 3, Window: 1, TargetUtil: 0.5,
 		Schedule: []ScheduledResize{{AfterRounds: 5, Shards: 4}}}
 	if err := validateAutoscale(&cfg, 2); err != nil {
 		t.Fatal(err)
@@ -60,18 +90,18 @@ func TestScalePolicyBoundsAndSchedule(t *testing.T) {
 	}
 	p := newScalePolicy(cfg)
 	// Saturated load before the schedule fires: suppressed.
-	if _, _, ok := p.observe(1, 2, 100); ok {
+	if _, _, ok := p.observe(1, obsOf(2, 100, 32)); ok {
 		t.Fatal("load policy fired while a schedule was pending")
 	}
-	n, reason, ok := p.observe(5, 2, 0)
+	n, reason, ok := p.observe(5, obsOf(2, 0, 32))
 	if !ok || n != 4 || reason != "scheduled" {
 		t.Fatalf("schedule: got (%d, %q, %v), want scheduled resize to 4", n, reason, ok)
 	}
 	// Schedule drained: the load policy is live again, clamped to max.
-	if n, _, ok := p.observe(6, 4, 100); ok || n != 0 {
+	if n, _, ok := p.observe(6, obsOf(4, 1000, 32)); ok || n != 0 {
 		t.Fatalf("grew past MaxShards: (%d, %v)", n, ok)
 	}
-	if n, _, ok := p.observe(7, 3, 100); !ok || n != 4 {
+	if n, _, ok := p.observe(7, obsOf(3, 1000, 32)); !ok || n != 4 {
 		t.Fatalf("saturation under max: got (%d, %v), want grow to 4", n, ok)
 	}
 
@@ -90,8 +120,9 @@ func TestScalePolicyBoundsAndSchedule(t *testing.T) {
 }
 
 // TestFleetAutoscaleGrowsUnderLoad: the in-Run scaling loop really
-// resizes a saturated fleet — 3 sessions on one shard with TargetLoad 1
-// grows toward MaxShards 2 — and the run still completes everything.
+// resizes a saturated fleet — 3 sessions' demand on one 32-core shard is
+// well past a 0.05 target utilization, so the fleet grows toward
+// MaxShards 2 — and the run still completes everything.
 func TestFleetAutoscaleGrowsUnderLoad(t *testing.T) {
 	sink := &recordingSink{}
 	var mu sync.Mutex
@@ -99,7 +130,7 @@ func TestFleetAutoscaleGrowsUnderLoad(t *testing.T) {
 	f, err := New(WithShards(1), WithSink(sink), WithAutoscale(AutoscaleConfig{
 		MinShards:  1,
 		MaxShards:  2,
-		TargetLoad: 1,
+		TargetUtil: 0.05,
 		Window:     1,
 		OnResize: func(from, to int, reason string) {
 			mu.Lock()

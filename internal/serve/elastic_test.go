@@ -359,7 +359,7 @@ func TestResizeUpThenImmediatelyDown(t *testing.T) {
 
 // TestResizeIdleFleet: resizing between runs — grow, shrink with queued
 // sessions, then serve — migrates the queued sessions inline and loses
-// nothing. Loads exposes per-shard depth with -1 for gone shards.
+// nothing. Loads reports gone shards as Alive=false zero reports.
 func TestResizeIdleFleet(t *testing.T) {
 	f, err := New(WithShards(2))
 	if err != nil {
@@ -372,16 +372,22 @@ func TestResizeIdleFleet(t *testing.T) {
 	if _, err := f.Submit(testSource(t, classes[1], 2, 8), testSessionConfig()); err != nil {
 		t.Fatal(err)
 	}
-	if got := f.Loads(); fmt.Sprint(got) != "[1 1]" {
-		t.Fatalf("Loads() = %v, want [1 1]", got)
+	loads := f.Loads()
+	if len(loads) != 2 || loads[0].Sessions != 1 || loads[1].Sessions != 1 ||
+		!loads[0].Alive || !loads[1].Alive {
+		t.Fatalf("Loads() = %+v, want one alive session on each shard", loads)
 	}
 	// Shrink to 1 with nothing running: shard 1's session migrates
 	// inline onto shard 0.
 	if err := f.Resize(1); err != nil {
 		t.Fatal(err)
 	}
-	if got := f.Loads(); fmt.Sprint(got) != "[2 -1]" {
-		t.Fatalf("Loads() after idle shrink = %v, want [2 -1]", got)
+	loads = f.Loads()
+	if len(loads) != 2 || loads[0].Sessions != 2 || !loads[0].Alive {
+		t.Fatalf("Loads() after idle shrink = %+v, want 2 alive sessions on shard 0", loads)
+	}
+	if dead := loads[1]; dead.Alive || dead.Sessions != 0 || dead.DemandCores != 0 || dead.CapacityCores != 0 {
+		t.Fatalf("gone shard reports %+v, want a dead zero report", dead)
 	}
 	if got := f.Load(); got != 2 {
 		t.Fatalf("Load() = %d, want 2", got)

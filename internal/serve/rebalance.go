@@ -11,28 +11,31 @@ import (
 // Resize migrates sessions only off removed shards; a hot shard inside a
 // *stable* fleet — class routing piled one popular class onto it — never
 // shed load. WithRebalance closes that gap with the same GOP-boundary
-// handoff, minus the drain: when a shard's live-session count exceeds the
-// fleet mean by a configurable factor for K consecutive rounds, it hands
-// its newest sessions to the least-loaded peers through the narrow
-// core.Shard.ExportSession path, right after its round settles — the one
-// moment every session on the shard sits at a GOP boundary with no encode
-// in flight, and the one goroutine allowed to touch them is the very one
-// running the check. The rebalanced session's bitstream continues
-// bit-identically on the peer (the migration layer's invariant).
+// handoff, minus the drain: when a shard's demand-normalized utilization
+// (core.LoadReport) exceeds the fleet mean by a configurable factor for K
+// consecutive rounds, it hands sessions to less-utilized peers through the
+// narrow core.Shard.ExportSession path, right after its round settles —
+// the one moment every session on the shard sits at a GOP boundary with no
+// encode in flight, and the one goroutine allowed to touch them is the
+// very one running the check. Sessions are picked by how well their core
+// demand closes the donor's overload gap, not merely by arrival order, so
+// one heavy session can do the work of several light ones. The rebalanced
+// session's bitstream continues bit-identically on the peer (the migration
+// layer's invariant).
 
 // RebalanceConfig parametrizes proactive hot-shard rebalancing
 // (WithRebalance).
 type RebalanceConfig struct {
 	// Factor is the imbalance trigger: a shard is hot when its
-	// live-session count exceeds Factor × the fleet-wide mean. Must
-	// exceed 1 (default 1.5).
+	// demand-normalized utilization exceeds Factor × the mean utilization
+	// of the alive shards. Must exceed 1 (default 1.5).
 	Factor float64
 	// Windows is the hysteresis: that many consecutive hot rounds before
 	// the shard sheds, with any cool round resetting the count
 	// (default 2).
 	Windows int
 	// MaxMoves caps the sessions shed per trigger (0 = enough to bring
-	// the shard back to the fleet mean).
+	// the shard's demand back to the fleet-mean utilization).
 	MaxMoves int
 }
 
@@ -45,9 +48,9 @@ type shedKey struct {
 
 // WithRebalance makes hot shards shed sessions to idle peers while the
 // fleet keeps its size: after every settled round the fleet compares the
-// shard's load against the fleet mean, and a shard hot for
-// cfg.Windows consecutive rounds hands its newest sessions to the
-// least-loaded shards at the GOP boundary (OnSessionRebalanced reports
+// shard's utilization against the fleet mean, and a shard hot for
+// cfg.Windows consecutive rounds hands demand-picked sessions to the
+// least-utilized shards at the GOP boundary (OnSessionRebalanced reports
 // each hop). Rebalancing and Resize exclude each other, so a shedding
 // shard can never race a drain.
 func WithRebalance(cfg RebalanceConfig) Option {
@@ -80,20 +83,22 @@ func (f *Fleet) maybeRebalance(s *shardState) {
 	if cfg == nil {
 		return
 	}
-	loads := f.Loads()
-	live, total := 0, 0
-	for _, l := range loads {
-		if l >= 0 {
+	reports := f.Loads()
+	live, meanUtil := 0, 0.0
+	for _, r := range reports {
+		if r.Alive {
 			live++
-			total += l
+			meanUtil += r.Util
 		}
 	}
-	donorLoad := loads[s.index]
-	mean := 0.0
 	if live > 0 {
-		mean = float64(total) / float64(live)
+		meanUtil /= float64(live)
 	}
-	hot := live >= 2 && donorLoad >= 2 && float64(donorLoad) > cfg.Factor*mean
+	donor := reports[s.index]
+	// Two queued sessions minimum: a single session is this shard's to
+	// serve no matter how heavy it prices — moving it just relocates the
+	// hot spot.
+	hot := live >= 2 && donor.Sessions >= 2 && meanUtil > 0 && donor.Util > cfg.Factor*meanUtil
 
 	f.mu.Lock()
 	if !hot || f.resizing || !s.routable() {
@@ -114,7 +119,7 @@ func (f *Fleet) maybeRebalance(s *shardState) {
 	f.rebalancing++
 	f.mu.Unlock()
 
-	f.shedLoad(s, donorLoad, mean, cfg)
+	f.shedLoad(s, donor, meanUtil, cfg)
 
 	f.mu.Lock()
 	f.rebalancing--
@@ -122,38 +127,72 @@ func (f *Fleet) maybeRebalance(s *shardState) {
 	f.mu.Unlock()
 }
 
-// shedLoad moves the donor's newest sessions to the least-loaded peers
-// until the donor is back at the fleet mean (or MaxMoves is reached, or
-// moving would no longer reduce the imbalance). Runs on the donor's
-// serving goroutine between rounds — the ExportSession contract.
-func (f *Fleet) shedLoad(s *shardState, donorLoad int, mean float64, cfg *RebalanceConfig) {
-	moves := donorLoad - int(math.Ceil(mean))
-	if moves < 1 {
-		moves = 1
-	}
-	if cfg.MaxMoves > 0 && moves > cfg.MaxMoves {
-		moves = cfg.MaxMoves
+// shedLoad moves sessions off the donor until its summed core demand is
+// back at the fleet-mean utilization (or MaxMoves is reached, or moving
+// would no longer reduce the imbalance). Victims are picked by demand: the
+// queued session whose core demand comes closest to the remaining overload
+// gap goes first (ties to the newest id — least serving history, least
+// disturbance to the donor's warm working set), so a single heavy session
+// is preferred over shedding many light ones. Runs on the donor's serving
+// goroutine between rounds — the ExportSession contract.
+func (f *Fleet) shedLoad(s *shardState, donor core.LoadReport, meanUtil float64, cfg *RebalanceConfig) {
+	// The overload gap in cores: what the donor carries beyond the
+	// fleet-mean utilization of its own capacity. At least one move — the
+	// hot trigger already established the imbalance.
+	gap := donor.DemandCores - int(math.Ceil(meanUtil*float64(donor.CapacityCores)))
+	if gap < 1 {
+		gap = 1
 	}
 
-	// Newest queued sessions first: they carry the least serving history,
-	// so re-homing them disturbs the donor's warm working set the least.
-	var queued []int
+	// Snapshot the queued sessions and their demands once; exports below
+	// are the only thing settling them mid-loop.
+	type victim struct{ id, demand int }
+	var queued []victim
 	for id := 0; ; id++ {
 		st, ok := s.srv.StateOf(id)
 		if !ok {
 			break
 		}
 		if st == core.StateQueued {
-			queued = append(queued, id)
+			queued = append(queued, victim{id: id, demand: s.srv.SessionDemand(id)})
 		}
 	}
 
-	for i := len(queued) - 1; i >= 0 && moves > 0; i-- {
-		target, targetLoad := f.pickRebalanceTarget(s.index)
-		if target == nil || targetLoad+1 >= s.srv.Load() {
-			return // nobody meaningfully less loaded is left
+	moves := 0
+	for gap > 0 && len(queued) > 0 {
+		if cfg.MaxMoves > 0 && moves >= cfg.MaxMoves {
+			return
 		}
-		snap, err := s.srv.ExportSession(queued[i])
+		// Best gap-closer: minimal |gap − demand|, ties to the newest id.
+		pick := -1
+		for i, v := range queued {
+			if pick < 0 {
+				pick = i
+				continue
+			}
+			di, dp := abs(gap-v.demand), abs(gap-queued[pick].demand)
+			if di < dp || (di == dp && v.id > queued[pick].id) {
+				pick = i
+			}
+		}
+		v := queued[pick]
+		queued = append(queued[:pick], queued[pick+1:]...)
+
+		target, trep := f.pickRebalanceTarget(s.index)
+		if target == nil {
+			return // donor is the only live shard
+		}
+		// Move only if it strictly reduces the imbalance: the victim on
+		// the target must leave it less utilized than the donor is now.
+		donorRep := s.srv.LoadReport()
+		if trep.CapacityCores <= 0 || donorRep.CapacityCores <= 0 {
+			return
+		}
+		targetAfter := float64(trep.DemandCores+v.demand) / float64(trep.CapacityCores)
+		if targetAfter >= donorRep.Util {
+			return // nobody meaningfully less utilized is left
+		}
+		snap, err := s.srv.ExportSession(v.id)
 		if err != nil {
 			continue // settled since the snapshot of queued ids; skip it
 		}
@@ -195,14 +234,22 @@ func (f *Fleet) shedLoad(s *shardState, donorLoad int, mean float64, cfg *Rebala
 		// Wake or revive the adopter: a closed fleet drains shards as they
 		// empty, so an idle target may have no supervisor anymore.
 		f.reviveSupervisor(target)
-		moves--
+		gap -= v.demand
+		moves++
 	}
 }
 
-// pickRebalanceTarget returns the least-loaded routable shard other than
-// the donor (ties to the lowest index), with its load; nil when the donor
-// is the only live shard.
-func (f *Fleet) pickRebalanceTarget(donor int) (*shardState, int) {
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// pickRebalanceTarget returns the least-utilized routable shard other than
+// the donor (ties to the lowest index), with its load report; nil when the
+// donor is the only live shard.
+func (f *Fleet) pickRebalanceTarget(donor int) (*shardState, core.LoadReport) {
 	f.mu.Lock()
 	shards := append([]*shardState(nil), f.shards...)
 	routable := make([]bool, len(shards))
@@ -211,16 +258,16 @@ func (f *Fleet) pickRebalanceTarget(donor int) (*shardState, int) {
 	}
 	f.mu.Unlock()
 	var best *shardState
-	bestLoad := 0
+	var bestRep core.LoadReport
 	for i, t := range shards {
 		if i == donor || !routable[i] {
 			continue
 		}
-		if l := t.srv.Load(); best == nil || l < bestLoad {
-			best, bestLoad = t, l
+		if r := t.srv.LoadReport(); best == nil || r.Util < bestRep.Util {
+			best, bestRep = t, r
 		}
 	}
-	return best, bestLoad
+	return best, bestRep
 }
 
 // reviveSupervisor restarts a live target's serving supervisor if the

@@ -1,13 +1,15 @@
 // Package serve is the multi-platform front door of the transcoding
-// service: a Fleet builds one core.Server shard per MPSoC platform,
-// routes arriving sessions across them by consistent-hashing the
-// session's workload class (so each shard's per-class LUTs stay warm)
-// with a least-loaded fallback, supervises every shard's serving loop —
-// restarting a shard whose loop fails without disturbing the others —
-// and streams telemetry to a pluggable Sink instead of accumulating a
-// grow-forever report. The paper's scheduler manages one MPSoC; the
-// Fleet is the layer that turns many of them into one service
-// (DESIGN.md §8).
+// service: a Fleet builds one core.Server shard per MPSoC platform
+// (uniform via WithShards or heterogeneous via WithPlatforms), routes
+// arriving sessions across them by consistent-hashing the session's
+// workload class (so each shard's per-class LUTs stay warm) with a
+// lowest-utilization fallback — or, with WithDemandPlacement, by
+// pricing each session's core demand against the shards' free capacity
+// — supervises every shard's serving loop — restarting a shard whose
+// loop fails without disturbing the others — and streams telemetry to
+// a pluggable Sink instead of accumulating a grow-forever report. The
+// paper's scheduler manages one MPSoC; the Fleet is the layer that
+// turns many of them into one service (DESIGN.md §8, §11).
 package serve
 
 import (
@@ -43,6 +45,7 @@ type options struct {
 
 	autoscale *AutoscaleConfig
 	rebalance *RebalanceConfig
+	placement *PlacementConfig
 
 	sink      Sink
 	roundHook func(shard int, out *core.GOPOutcome)
@@ -397,7 +400,7 @@ func (f *Fleet) newShardState(index int, platform *mpsoc.Platform, allocName str
 		Admission:   f.opts.admission,
 		Store:       store,
 		OnRound: func(out *core.GOPOutcome) {
-			f.dispatchRound(shard.index, out)
+			f.dispatchRound(shard, out)
 			// Control loop: the round boundary is the safe point for a hot
 			// shard to shed (every session at a GOP boundary, this very
 			// goroutine the only one serving them), and the tick feeding
@@ -468,11 +471,13 @@ func (f *Fleet) HomeShard(class string) int {
 	return f.ring.shardFor(class)
 }
 
-// Loads reports every shard's live-session count, indexed by shard
-// index; a shard that is gone (removed, draining or given up) reports
-// -1. This is the autoscaler's — and the tests' — window into per-shard
-// load without reaching into shard internals.
-func (f *Fleet) Loads() []int {
+// Loads reports every shard's load report, indexed by shard index. A
+// shard that is gone (removed, draining or given up) reports the zero
+// report with Alive false — dead shards are explicit, and every consumer
+// (autoscale, rebalance, tests) excludes them from fleet means instead of
+// special-casing a sentinel. This is the window into per-shard load
+// without reaching into shard internals.
+func (f *Fleet) Loads() []core.LoadReport {
 	f.mu.Lock()
 	shards := append([]*shardState(nil), f.shards...)
 	routable := make([]bool, len(shards))
@@ -480,13 +485,12 @@ func (f *Fleet) Loads() []int {
 		routable[i] = s.routable()
 	}
 	f.mu.Unlock()
-	out := make([]int, len(shards))
+	out := make([]core.LoadReport, len(shards))
 	for i, s := range shards {
 		if !routable[i] {
-			out[i] = -1
-			continue
+			continue // zero report, Alive false
 		}
-		out[i] = s.srv.Load()
+		out[i] = s.srv.LoadReport()
 	}
 	return out
 }
@@ -500,8 +504,11 @@ type Placement struct {
 }
 
 // Submit routes a session to its class's home shard, falling back to the
-// least-loaded shard when the home shard is saturated (WithShardCapacity),
-// dead, draining, or refuses the submission. Safe from any goroutine,
+// lowest-utilization shard when the home shard is saturated
+// (WithShardCapacity), dead, draining, or refuses the submission. With
+// WithDemandPlacement the session's estimated core demand steers the
+// order instead (see placeOrder) and rides into the landing shard's
+// LoadReport as the session's demand hint. Safe from any goroutine,
 // including round hooks — but not from Sink methods, which run under the
 // sink dispatch lock that Submit's own state notification needs (see the
 // Sink contract). Fails when every shard refuses.
@@ -509,13 +516,22 @@ func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement,
 	if src == nil {
 		return Placement{}, errors.New("serve: nil frame source")
 	}
+	demand := f.estimateDemand(src)
+	if demand > 0 && cfg.DemandHint == 0 {
+		cfg.DemandHint = demand
+	}
 	f.mu.Lock()
 	home := f.ring.shardFor(src.Class())
 	f.mu.Unlock()
 	var lastErr error
-	for _, si := range f.routeOrder(home) {
+	for _, si := range f.placeOrder(home, demand) {
 		sess, err := f.shardAt(si).srv.Submit(src, cfg)
 		if err == nil {
+			e := PlacementEvent{Shard: si, Home: home, Session: sess.ID, Class: src.Class(), DemandCores: demand}
+			if e.DemandCores < 1 {
+				e.DemandCores = 1
+			}
+			f.dispatchPlaced(e)
 			return Placement{Shard: si, Session: sess}, nil
 		}
 		lastErr = err
@@ -533,45 +549,12 @@ func (f *Fleet) shardAt(i int) *shardState {
 	return f.shards[i]
 }
 
-// routeOrder returns the shard indices to try: the home shard first —
-// unless it is unroutable or at capacity — then the remaining routable
-// shards in ascending (load, index) order.
+// routeOrder returns the shard indices to try for a session with no
+// demand estimate: the home shard first — unless it is unroutable or at
+// capacity — then the remaining routable shards in ascending
+// (utilization, sessions, index) order.
 func (f *Fleet) routeOrder(home int) []int {
-	type cand struct {
-		index int
-		load  int
-	}
-	f.mu.Lock()
-	shards := append([]*shardState(nil), f.shards...)
-	routable := make([]bool, len(shards))
-	for i, s := range shards {
-		routable[i] = s.routable()
-	}
-	f.mu.Unlock()
-
-	var rest []cand
-	order := make([]int, 0, len(shards))
-	homeOK := home >= 0 && home < len(shards) && routable[home] &&
-		(f.opts.capacity <= 0 || shards[home].srv.Load() < f.opts.capacity)
-	if homeOK {
-		order = append(order, home)
-	}
-	for i, s := range shards {
-		if (i == home && homeOK) || !routable[i] {
-			continue
-		}
-		rest = append(rest, cand{index: i, load: s.srv.Load()})
-	}
-	sort.Slice(rest, func(a, b int) bool {
-		if rest[a].load != rest[b].load {
-			return rest[a].load < rest[b].load
-		}
-		return rest[a].index < rest[b].index
-	})
-	for _, c := range rest {
-		order = append(order, c.index)
-	}
-	return order
+	return f.placeOrder(home, 0)
 }
 
 // Close closes every shard's arrival queue: no further Submit succeeds
@@ -1144,13 +1127,13 @@ func (f *Fleet) SaveLUTs() error {
 	return nil
 }
 
-// Load reports the fleet-wide live-session count (the sum of the shards'
-// queue depths).
+// Load reports the fleet-wide live-session count (the sum of the alive
+// shards' queue depths).
 func (f *Fleet) Load() int {
 	n := 0
-	for _, l := range f.Loads() {
-		if l > 0 {
-			n += l
+	for _, r := range f.Loads() {
+		if r.Alive {
+			n += r.Sessions
 		}
 	}
 	return n
@@ -1167,11 +1150,13 @@ func (f *Fleet) dispatchState(shard, id int, state core.SessionState, err error)
 }
 
 // dispatchRound delivers a settled round to the sink: per-session GOPs
-// in ascending id, then the round metrics.
-func (f *Fleet) dispatchRound(shard int, out *core.GOPOutcome) {
+// in ascending id, then the round metrics carrying the shard's load
+// report as of the settlement.
+func (f *Fleet) dispatchRound(s *shardState, out *core.GOPOutcome) {
 	if f.opts.sink == nil {
 		return
 	}
+	load := s.srv.LoadReport()
 	f.sinkMu.Lock()
 	defer f.sinkMu.Unlock()
 	ids := make([]int, 0, len(out.GOPs))
@@ -1180,9 +1165,19 @@ func (f *Fleet) dispatchRound(shard int, out *core.GOPOutcome) {
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		f.opts.sink.OnGOP(GOPEvent{Shard: shard, Session: id, Round: out.Round, GOP: out.GOPs[id]})
+		f.opts.sink.OnGOP(GOPEvent{Shard: s.index, Session: id, Round: out.Round, GOP: out.GOPs[id]})
 	}
-	f.opts.sink.OnRoundMetrics(RoundEvent{Shard: shard, Outcome: out})
+	f.opts.sink.OnRoundMetrics(RoundEvent{Shard: s.index, Outcome: out, Load: load})
+}
+
+// dispatchPlaced delivers a session-placement decision to the sink.
+func (f *Fleet) dispatchPlaced(e PlacementEvent) {
+	if f.opts.sink == nil {
+		return
+	}
+	f.sinkMu.Lock()
+	defer f.sinkMu.Unlock()
+	f.opts.sink.OnSessionPlaced(e)
 }
 
 // tickRound advances the fleet-wide settled-round counter and feeds the

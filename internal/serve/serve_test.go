@@ -165,6 +165,7 @@ type recordingSink struct {
 	mu         sync.Mutex
 	gops       []GOPEvent
 	states     []SessionEvent
+	placements []PlacementEvent
 	rounds     []RoundEvent
 	added      []ShardEvent
 	removed    []ShardEvent
@@ -182,6 +183,12 @@ func (r *recordingSink) OnSessionStateChange(e SessionEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.states = append(r.states, e)
+}
+
+func (r *recordingSink) OnSessionPlaced(e PlacementEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.placements = append(r.placements, e)
 }
 
 func (r *recordingSink) OnRoundMetrics(e RoundEvent) {

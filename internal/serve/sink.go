@@ -34,6 +34,28 @@ type SessionEvent struct {
 type RoundEvent struct {
 	Shard   int
 	Outcome *core.GOPOutcome
+	// Load is the shard's load report as of the round's settlement —
+	// live sessions, their summed core demand, capacity and utilization.
+	Load core.LoadReport
+}
+
+// PlacementEvent reports where Submit routed one session — the
+// demand-aware placement decision (DESIGN.md §11). Delivered from the
+// submitting goroutine right after the session's StateQueued event.
+type PlacementEvent struct {
+	// Shard is where the session landed.
+	Shard int
+	// Home is the consistent-hash home of the session's class at
+	// placement time (-1 with no routable shard); Shard differs from it
+	// when capacity, demand or shard health steered the session away.
+	Home int
+	// Session is the shard-local session id.
+	Session int
+	// Class is the session's workload class (the routing key).
+	Class string
+	// DemandCores is the placement-time core-demand estimate (1 when
+	// demand-aware placement is off).
+	DemandCores int
 }
 
 // ShardEvent reports a fleet membership change (Resize).
@@ -75,9 +97,10 @@ type MigrationEvent struct {
 // one OnGOP per admitted session in ascending session id, then one
 // OnRoundMetrics; per (shard, session) the GOPs arrive in round order
 // with the terminal transition during the final round's settlement.
-// Events of different shards interleave arbitrarily. The one
-// cross-goroutine event is StateQueued, delivered from the goroutine
-// that called Submit before Submit returns — in practice it precedes
+// Events of different shards interleave arbitrarily. The
+// cross-goroutine events are StateQueued and OnSessionPlaced, delivered
+// in that order from the goroutine that called Submit before Submit
+// returns — in practice StateQueued precedes
 // the session's first OnGOP (a submission is first served on a later
 // round), but that ordering is not synchronized. Sink methods must not
 // call back into the fleet: Submit would re-enter the sink dispatch lock
@@ -106,6 +129,7 @@ type MigrationEvent struct {
 type Sink interface {
 	OnGOP(e GOPEvent)
 	OnSessionStateChange(e SessionEvent)
+	OnSessionPlaced(e PlacementEvent)
 	OnRoundMetrics(e RoundEvent)
 	OnShardAdded(e ShardEvent)
 	OnShardRemoved(e ShardEvent)
@@ -119,6 +143,7 @@ type NopSink struct{}
 
 func (NopSink) OnGOP(GOPEvent)                     {}
 func (NopSink) OnSessionStateChange(SessionEvent)  {}
+func (NopSink) OnSessionPlaced(PlacementEvent)     {}
 func (NopSink) OnRoundMetrics(RoundEvent)          {}
 func (NopSink) OnShardAdded(ShardEvent)            {}
 func (NopSink) OnShardRemoved(ShardEvent)          {}
@@ -139,6 +164,12 @@ func (m multiSink) OnGOP(e GOPEvent) {
 func (m multiSink) OnSessionStateChange(e SessionEvent) {
 	for _, s := range m {
 		s.OnSessionStateChange(e)
+	}
+}
+
+func (m multiSink) OnSessionPlaced(e PlacementEvent) {
+	for _, s := range m {
+		s.OnSessionPlaced(e)
 	}
 }
 
@@ -199,9 +230,11 @@ type RingSink struct {
 	rebalances    int
 	shardsAdded   int
 	shardsRemoved int
+	placements    int
 
 	states map[[2]int]core.SessionState // (shard, session) → latest state
 	errs   map[[2]int]error
+	loads  map[int]core.LoadReport // shard → latest load report
 }
 
 // NewRingSink builds a sink retaining the last capacity round outcomes
@@ -214,6 +247,7 @@ func NewRingSink(capacity int) *RingSink {
 		capacity: capacity,
 		states:   make(map[[2]int]core.SessionState),
 		errs:     make(map[[2]int]error),
+		loads:    make(map[int]core.LoadReport),
 	}
 }
 
@@ -243,10 +277,17 @@ func (s *RingSink) OnSessionStateChange(e SessionEvent) {
 	}
 }
 
+func (s *RingSink) OnSessionPlaced(PlacementEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.placements++
+}
+
 func (s *RingSink) OnRoundMetrics(e RoundEvent) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rounds++
+	s.loads[e.Shard] = e.Load
 	s.energy.Add(e.Outcome.Energy)
 	if len(s.outcomes) < s.capacity {
 		s.outcomes = append(s.outcomes, e.Outcome)
@@ -294,6 +335,23 @@ func (s *RingSink) Rebalances() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.rebalances
+}
+
+// Placements reports how many session-placement decisions the sink saw
+// (one per successful Submit).
+func (s *RingSink) Placements() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.placements
+}
+
+// ShardLoad reports the shard's latest load report (utilization included)
+// as of its most recent settled round, and whether one was seen.
+func (s *RingSink) ShardLoad(shard int) (core.LoadReport, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.loads[shard]
+	return r, ok
 }
 
 // Resizes reports how many shards were added and removed.
@@ -524,6 +582,19 @@ type jsonlRound struct {
 	CoresUsed   int     `json:"cores_used"`
 	AvgPowerW   float64 `json:"avg_power_w"`
 	EstimateErr float64 `json:"estimate_err,omitempty"`
+	Sessions    int     `json:"sessions"`
+	Demand      int     `json:"demand_cores"`
+	Capacity    int     `json:"capacity_cores"`
+	Util        float64 `json:"util"`
+}
+
+type jsonlPlacement struct {
+	Event   string `json:"event"` // "session_placed"
+	Shard   int    `json:"shard"`
+	Session int    `json:"session"`
+	Class   string `json:"class"`
+	Home    int    `json:"home"`
+	Demand  int    `json:"demand_cores"`
 }
 
 type jsonlShard struct {
@@ -584,6 +655,21 @@ func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
 		CoresUsed:   out.Allocation.CoresUsed,
 		AvgPowerW:   out.Energy.AvgPowerW,
 		EstimateErr: out.EstimateErr,
+		Sessions:    e.Load.Sessions,
+		Demand:      e.Load.DemandCores,
+		Capacity:    e.Load.CapacityCores,
+		Util:        e.Load.Util,
+	})
+}
+
+func (s *JSONLSink) OnSessionPlaced(e PlacementEvent) {
+	s.emit(jsonlPlacement{
+		Event:   "session_placed",
+		Shard:   e.Shard,
+		Session: e.Session,
+		Class:   e.Class,
+		Home:    e.Home,
+		Demand:  e.DemandCores,
 	})
 }
 
