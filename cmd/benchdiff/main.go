@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
@@ -74,9 +75,10 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		ok := compare(base, cur, *metric, *maxDrop, false)
+		reportCurrentOnly(base, cur, os.Stderr)
+		ok := compare(base, cur, *metric, *maxDrop, false, os.Stdout, os.Stderr)
 		if *lowMetric != "" {
-			ok = compare(base, cur, *lowMetric, *maxRise, true) && ok
+			ok = compare(base, cur, *lowMetric, *maxRise, true, os.Stdout, os.Stderr) && ok
 		}
 		if !ok {
 			os.Exit(1)
@@ -166,28 +168,54 @@ func loadBaseline(path string) (*Baseline, error) {
 	return &b, nil
 }
 
-// compare prints a per-benchmark table of the gated metric and returns
-// false when any gated benchmark vanished or regressed past tolerance —
+// reportCurrentOnly lists, on errw, benchmarks the current run has that
+// the baseline does not. New benchmarks are not failures — the suite is
+// allowed to grow — but a gate that never mentions them invites a silent
+// coverage gap: the new benchmark stays ungated until someone notices.
+func reportCurrentOnly(base, cur *Baseline, errw io.Writer) {
+	var extra []string
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(errw, "benchdiff: note: %s is new (not in the baseline) — regenerate the baseline to gate it\n", name)
+	}
+}
+
+// compare prints a per-benchmark table of the gated metric to out and
+// returns false when any gated benchmark regressed past tolerance —
 // dropped below it for a higher-is-better metric, risen above it for a
-// lower-is-better one.
-func compare(base, cur *Baseline, metric string, tolerance float64, lowerIsBetter bool) bool {
+// lower-is-better one — or stopped being measured. The two vanishing
+// cases fail with distinct messages: a benchmark missing from the
+// current file entirely (it was deleted or did not run) is a different
+// repair than a benchmark that still runs but no longer reports the
+// gated metric (a dropped b.ReportMetric call). Baseline entries that
+// never reported the metric cannot be gated; they are noted on errw so
+// the gap is visible instead of silently skipped.
+func compare(base, cur *Baseline, metric string, tolerance float64, lowerIsBetter bool, out, errw io.Writer) bool {
 	var names []string
 	for name, metrics := range base.Benchmarks {
 		if _, ok := metrics[metric]; ok {
 			names = append(names, name)
+		} else {
+			fmt.Fprintf(errw, "benchdiff: note: %s has no baseline %q — not gated on it\n", name, metric)
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: baseline has no benchmark reporting %q\n", metric)
+		fmt.Fprintf(errw, "benchdiff: baseline has no benchmark reporting %q\n", metric)
 		return false
 	}
 	ok := true
 	for _, name := range names {
 		want := base.Benchmarks[name][metric]
+		curMetrics, inCurrent := cur.Benchmarks[name]
 		got, present := 0.0, false
-		if m := cur.Benchmarks[name]; m != nil {
-			got, present = m[metric]
+		if curMetrics != nil {
+			got, present = curMetrics[metric]
 		}
 		regressed := want > 0 && got < want*(1-tolerance)
 		direction := "drop"
@@ -196,11 +224,14 @@ func compare(base, cur *Baseline, metric string, tolerance float64, lowerIsBette
 			direction = "rise"
 		}
 		switch {
+		case !inCurrent:
+			fmt.Fprintf(out, "FAIL %-40s %s: benchmark missing from current run (baseline %.2f)\n", name, metric, want)
+			ok = false
 		case !present:
-			fmt.Printf("FAIL %-40s %s: missing from current run (baseline %.2f)\n", name, metric, want)
+			fmt.Fprintf(out, "FAIL %-40s %s: metric vanished from current run (baseline %.2f)\n", name, metric, want)
 			ok = false
 		case regressed:
-			fmt.Printf("FAIL %-40s %s: %.2f → %.2f (%.1f%% %s > %.0f%% allowed)\n",
+			fmt.Fprintf(out, "FAIL %-40s %s: %.2f → %.2f (%.1f%% %s > %.0f%% allowed)\n",
 				name, metric, want, got, 100*math.Abs(got/want-1), direction, 100*tolerance)
 			ok = false
 		default:
@@ -208,7 +239,7 @@ func compare(base, cur *Baseline, metric string, tolerance float64, lowerIsBette
 			if want > 0 {
 				delta = 100 * (got/want - 1)
 			}
-			fmt.Printf("ok   %-40s %s: %.2f → %.2f (%+.1f%%)\n", name, metric, want, got, delta)
+			fmt.Fprintf(out, "ok   %-40s %s: %.2f → %.2f (%+.1f%%)\n", name, metric, want, got, delta)
 		}
 	}
 	return ok

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineOf(entries map[string]map[string]float64) *Baseline {
+	return &Baseline{Benchmarks: entries}
+}
+
+// TestCompareDistinguishesVanishedMetricFromVanishedBenchmark is the
+// benchdiff regression test: a benchmark present in both files whose
+// current entry no longer reports the gated metric must fail the gate
+// with its own message — a dropped b.ReportMetric call is a different
+// repair than a deleted benchmark, and the old conflated "missing from
+// current run" hid which one happened.
+func TestCompareDistinguishesVanishedMetricFromVanishedBenchmark(t *testing.T) {
+	base := baselineOf(map[string]map[string]float64{
+		"BenchmarkKept":    {"gops/svc-sec": 30, "ns/op": 1e6},
+		"BenchmarkDropped": {"gops/svc-sec": 25, "ns/op": 2e6},
+		"BenchmarkDeleted": {"gops/svc-sec": 20, "ns/op": 3e6},
+	})
+	cur := baselineOf(map[string]map[string]float64{
+		"BenchmarkKept":    {"gops/svc-sec": 31, "ns/op": 1e6},
+		"BenchmarkDropped": {"ns/op": 2e6}, // still runs, stopped reporting the gate
+	})
+	var out, errw bytes.Buffer
+	if compare(base, cur, "gops/svc-sec", 0.20, false, &out, &errw) {
+		t.Fatalf("gate passed with a vanished metric and a vanished benchmark:\n%s", out.String())
+	}
+	table := out.String()
+	if !strings.Contains(table, "BenchmarkDropped") || !strings.Contains(table, "metric vanished") {
+		t.Errorf("vanished metric not called out as such:\n%s", table)
+	}
+	if !strings.Contains(table, "BenchmarkDeleted") || !strings.Contains(table, "benchmark missing") {
+		t.Errorf("vanished benchmark not called out as such:\n%s", table)
+	}
+	if !strings.Contains(table, "ok   BenchmarkKept") {
+		t.Errorf("surviving benchmark not reported ok:\n%s", table)
+	}
+}
+
+// TestReportCurrentOnlyBenchmarks: a benchmark only the current run has
+// is not a failure, but it must be reported on stderr — otherwise it
+// stays ungated without anyone noticing.
+func TestReportCurrentOnlyBenchmarks(t *testing.T) {
+	base := baselineOf(map[string]map[string]float64{
+		"BenchmarkOld": {"gops/svc-sec": 30},
+	})
+	cur := baselineOf(map[string]map[string]float64{
+		"BenchmarkOld": {"gops/svc-sec": 30},
+		"BenchmarkNew": {"gops/svc-sec": 99},
+	})
+	var errw bytes.Buffer
+	reportCurrentOnly(base, cur, &errw)
+	if !strings.Contains(errw.String(), "BenchmarkNew") {
+		t.Fatalf("current-only benchmark not reported on stderr: %q", errw.String())
+	}
+	var out bytes.Buffer
+	errw.Reset()
+	if !compare(base, cur, "gops/svc-sec", 0.20, false, &out, &errw) {
+		t.Fatalf("a new benchmark must not fail the gate:\n%s", out.String())
+	}
+}
+
+// TestCompareNotesUngatedBaselineEntries: a baseline entry that never
+// reported the gated metric cannot be compared; it must be noted on
+// stderr rather than silently skipped.
+func TestCompareNotesUngatedBaselineEntries(t *testing.T) {
+	base := baselineOf(map[string]map[string]float64{
+		"BenchmarkGated":   {"gops/svc-sec": 30},
+		"BenchmarkUngated": {"ns/op": 1e6},
+	})
+	cur := baselineOf(map[string]map[string]float64{
+		"BenchmarkGated":   {"gops/svc-sec": 30},
+		"BenchmarkUngated": {"ns/op": 1e6, "gops/svc-sec": 50},
+	})
+	var out, errw bytes.Buffer
+	if !compare(base, cur, "gops/svc-sec", 0.20, false, &out, &errw) {
+		t.Fatalf("ungated baseline entry failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "BenchmarkUngated") {
+		t.Fatalf("ungated baseline entry not noted on stderr: %q", errw.String())
+	}
+}
+
+// TestCompareDirections: the higher-is-better gate fails on a drop past
+// tolerance and the lower-is-better gate on a rise, and both pass within
+// tolerance.
+func TestCompareDirections(t *testing.T) {
+	base := baselineOf(map[string]map[string]float64{
+		"BenchmarkA": {"gops/svc-sec": 100, "ns/op": 1000},
+	})
+	cases := []struct {
+		name          string
+		curVal        float64
+		metric        string
+		lowerIsBetter bool
+		wantOK        bool
+	}{
+		{"drop past tolerance", 70, "gops/svc-sec", false, false},
+		{"drop within tolerance", 90, "gops/svc-sec", false, true},
+		{"rise past tolerance", 1300, "ns/op", true, false},
+		{"rise within tolerance", 1100, "ns/op", true, true},
+	}
+	for _, tc := range cases {
+		cur := baselineOf(map[string]map[string]float64{
+			"BenchmarkA": {tc.metric: tc.curVal},
+		})
+		var out, errw bytes.Buffer
+		if got := compare(base, cur, tc.metric, 0.20, tc.lowerIsBetter, &out, &errw); got != tc.wantOK {
+			t.Errorf("%s: compare=%v want %v\n%s", tc.name, got, tc.wantOK, out.String())
+		}
+	}
+}

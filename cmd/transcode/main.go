@@ -24,15 +24,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/medgen"
+	"repro/internal/metrics"
 	"repro/internal/mpsoc"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -74,6 +78,11 @@ func main() {
 		hotClass  = flag.String("hot-class", "", "give every user this body-part class (skews the class routing onto one shard)")
 		rebFactor = flag.Float64("rebalance-factor", 0, "shed a shard whose utilization exceeds this multiple of the fleet mean (0 = rebalancing off, must be > 1)")
 		rebWindow = flag.Int("rebalance-window", 2, "consecutive hot rounds before a shard sheds sessions")
+
+		metricsAddr  = flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on ADDR (e.g. 127.0.0.1:9090) during fleet runs")
+		metricsGrace = flag.Duration("metrics-grace", 0, "keep the /metrics endpoint up this long after the run drains (for a final scrape)")
+		costJoule    = flag.Float64("cost-per-joule", 0, "cost-model dollars per joule behind repro_cost_dollars_total")
+		costMiss     = flag.Float64("cost-per-miss", 0, "cost-model dollars per frame-deadline miss")
 	)
 	flag.Parse()
 
@@ -96,6 +105,8 @@ func main() {
 			resizeAt: *resizeAt, stagger: *stagger, shardSessions: *shardSess,
 			shardCores: cores, pixPerCore: *pixPerCore, fourkEvery: *fourkEvery,
 			hotClass: *hotClass, rebFactor: *rebFactor, rebWindow: *rebWindow,
+			metricsAddr: *metricsAddr, metricsGrace: *metricsGrace,
+			costJoule: *costJoule, costMiss: *costMiss,
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -207,6 +218,11 @@ type fleetOpts struct {
 	hotClass  string
 	rebFactor float64
 	rebWindow int
+
+	metricsAddr  string
+	metricsGrace time.Duration
+	costJoule    float64
+	costMiss     float64
 }
 
 // parseShardCores parses the -shard-cores list ("8,16,32") into per-shard
@@ -500,6 +516,30 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	if sink != nil {
 		fleetOptions = append(fleetOptions, serve.WithSink(sink))
 	}
+	var msrv *http.Server
+	if o.metricsAddr != "" {
+		msink := metrics.NewSink(metrics.SinkConfig{
+			Cost: metrics.CostModel{
+				DollarsPerJoule:        o.costJoule,
+				DollarsPerDeadlineMiss: o.costMiss,
+			},
+		})
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", msink.Handler())
+		msrv = &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "transcode: metrics server: %v\n", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
+		fleetOptions = append(fleetOptions, serve.WithMetrics(msink))
+	}
 	if o.luts != "" {
 		fleetOptions = append(fleetOptions, serve.WithLUTStore(o.luts))
 	}
@@ -570,6 +610,15 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	}
 	if o.luts != "" && runErr == nil {
 		fmt.Printf("  workload LUTs saved to %s\n", o.luts)
+	}
+	if msrv != nil && o.metricsGrace > 0 {
+		// Hold the endpoint open so an external scraper (CI, Prometheus's
+		// final pull) can read the settled totals after the fleet drains.
+		fmt.Printf("  metrics endpoint held open %s for a final scrape\n", o.metricsGrace)
+		select {
+		case <-time.After(o.metricsGrace):
+		case <-ctx.Done():
+		}
 	}
 	return runErr
 }

@@ -12,17 +12,25 @@
 // shrinks it again as the clinic empties, migrating any still-running
 // consultation to a surviving shard at a GOP boundary, without losing a
 // frame — while the rebalancer (serve.WithRebalance) sheds a shard that
-// one popular body part made hot onto its idle peer.
+// one popular body part made hot onto its idle peer. A metrics sink
+// (serve.WithMetrics) exports the whole run — energy joules, deadline
+// misses, per-body-part dollars and QoE — as a Prometheus /metrics
+// endpoint, the same one a hospital's monitoring stack would scrape.
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/medgen"
+	"repro/internal/metrics"
 	"repro/internal/mpsoc"
 	"repro/internal/serve"
 )
@@ -72,13 +80,35 @@ func main() {
 	}
 
 	ring := serve.NewRingSink(64)
-	var err error
+
+	// The hospital's billing and monitoring view: every fleet event also
+	// lands in a bounded-cardinality metrics registry, priced by a cost
+	// model and served in Prometheus text format.
+	msink := metrics.NewSink(metrics.SinkConfig{
+		Cost: metrics.CostModel{
+			DollarsPerJoule:        0.0002, // electricity + cooling
+			DollarsPerDeadlineMiss: 0.01,   // SLO service credit
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", msink.Handler())
+	msrv := &http.Server{Handler: mux}
+	go msrv.Serve(ln)
+	defer msrv.Close()
+	metricsURL := fmt.Sprintf("http://%s/metrics", ln.Addr())
+	fmt.Printf("monitoring: %s\n", metricsURL)
+
 	fleet, err = serve.New(
 		serve.WithPlatforms(mkPlatform(), mkPlatform()),
 		serve.WithShardCapacity(4),
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
 		serve.WithAdmission(core.AdmissionConfig{Enabled: true, MaxQueueRounds: 16, RecoverAfterRounds: 3}),
 		serve.WithSink(ring),
+		serve.WithMetrics(msink),
 		// The fleet scales itself: when the consultations' summed core
 		// demand pushes the fleet past TargetUtil of its capacity for
 		// Window consecutive rounds, a third shard opens; once the demand
@@ -163,5 +193,26 @@ func main() {
 		}
 		fmt.Printf("shard %d: %d rounds, completed %v, migrated away %v\n",
 			sr.Shard, sr.Report.Rounds, sr.Report.Completed, sr.Report.Migrated)
+	}
+
+	// What the monitoring stack sees: scrape our own /metrics endpoint and
+	// show the billing and experience series for the finished day.
+	resp, err := http.Get(metricsURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Printf("\nfinal scrape of %s (cost and QoE series):\n", metricsURL)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "repro_cost_dollars_total") ||
+			strings.HasPrefix(line, "repro_class_cost_dollars_total") ||
+			strings.HasPrefix(line, "repro_qoe_score") {
+			fmt.Printf("   %s\n", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mpsoc"
+)
+
+// TestNewServerRejectsNonFiniteConfig is the power-math regression test
+// on the serving side: a NaN FPS passes the old `FPS <= 0` check (NaN
+// comparisons are always false), turns the slot length into garbage, and
+// poisons every downstream energy figure. Same for TimeScale, which
+// multiplies every stage-D1 estimate.
+func TestNewServerRejectsNonFiniteConfig(t *testing.T) {
+	bad := []ServerConfig{
+		{Platform: mpsoc.XeonE5_2667V4(), FPS: math.NaN()},
+		{Platform: mpsoc.XeonE5_2667V4(), FPS: math.Inf(1)},
+		{Platform: mpsoc.XeonE5_2667V4(), FPS: 24, TimeScale: math.NaN()},
+		{Platform: mpsoc.XeonE5_2667V4(), FPS: 24, TimeScale: math.Inf(1)},
+		{Platform: mpsoc.XeonE5_2667V4(), FPS: 24, TimeScale: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewServer(cfg); err == nil {
+			t.Errorf("config %d: NewServer accepted non-finite FPS/TimeScale %+v", i, cfg)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -190,6 +191,9 @@ type Server struct {
 	// arrival wakes an idle Run loop when Submit or Close changes what
 	// there is to do.
 	arrival chan struct{}
+	// energy accumulates every settled round's slot report — the
+	// authoritative per-shard platform ledger EnergyTotals exposes.
+	energy mpsoc.Totals
 }
 
 // NewServer validates and builds a server.
@@ -200,8 +204,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.FPS <= 0 {
-		return nil, fmt.Errorf("core: non-positive FPS %v", cfg.FPS)
+	// NaN fails every ordinary range check (NaN <= 0 is false), so test
+	// finiteness explicitly: a non-finite FPS or TimeScale would poison
+	// every slot length and estimate downstream.
+	if math.IsNaN(cfg.FPS) || math.IsInf(cfg.FPS, 0) || cfg.FPS <= 0 {
+		return nil, fmt.Errorf("core: invalid FPS %v", cfg.FPS)
+	}
+	if math.IsNaN(cfg.TimeScale) || math.IsInf(cfg.TimeScale, 0) || cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("core: invalid TimeScale %v", cfg.TimeScale)
 	}
 	if cfg.Allocator == nil {
 		cfg.Allocator = sched.AllocateContentAware
@@ -393,6 +403,25 @@ type GOPOutcome struct {
 	EstimateErr float64
 	// EstimateTiles is the number of tiles EstimateErr covers.
 	EstimateTiles int
+	// Ladder maps each session still queued as of the round's settlement
+	// to its admission-ladder position — the per-rung depth signal
+	// telemetry aggregates without reaching into server internals.
+	Ladder map[int]LadderState
+	// Totals is the server's cumulative platform ledger (energy, peak
+	// power, deadline misses, simulated time) including this round — a
+	// copy of EnergyTotals taken at settlement, so a telemetry sink can
+	// export exact lifetime totals from round events alone.
+	Totals mpsoc.Totals
+}
+
+// LadderState is one live session's admission-ladder position as of a
+// round's settlement (see admission.go): the highest rung applied, the
+// accumulated QP offset, and whether the frame-rate rung currently
+// halves its GOP rate.
+type LadderState struct {
+	Rung       int
+	QPOffset   int
+	RateHalved bool
 }
 
 // roundSession carries one live session through a round.
@@ -534,8 +563,33 @@ func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, er
 	s.recoverRates(out)
 	s.mu.Lock()
 	s.rounds++
+	s.energy.Add(out.Energy)
+	out.Totals = s.energy
+	out.Ladder = make(map[int]LadderState)
+	for _, rec := range s.records {
+		if rec.state != StateQueued {
+			continue
+		}
+		out.Ladder[rec.sess.ID] = LadderState{
+			Rung:       rec.rung,
+			QPOffset:   rec.sess.QPOffset(),
+			RateHalved: rec.sess.RateHalved(),
+		}
+	}
 	s.mu.Unlock()
 	return out, sessErrs, nil
+}
+
+// EnergyTotals reports the cumulative platform ledger over every round
+// this server settled: summed energy and simulated time, peak per-slot
+// power, and deadline misses. The same accumulation a caller would get
+// by adding each outcome's Energy in round order — kept here so exact
+// lifetime totals survive outcomes falling out of bounded sinks. Safe
+// from any goroutine.
+func (s *Server) EnergyTotals() mpsoc.Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.energy
 }
 
 // recoverRates is the rate-rung recovery pass (the reverse of the

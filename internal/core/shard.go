@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/mpsoc"
 	"repro/internal/workload"
 )
 
@@ -40,6 +41,10 @@ type Shard interface {
 	StateOf(id int) (SessionState, bool)
 	// Store exposes the shard's per-class workload LUT store.
 	Store() *workload.Store
+	// EnergyTotals reports the shard's cumulative platform ledger —
+	// energy, simulated time, peak power, deadline misses — over every
+	// settled round.
+	EnergyTotals() mpsoc.Totals
 	// Abort fails every non-terminal session (dispatcher give-up).
 	Abort(err error) ([]int, error)
 

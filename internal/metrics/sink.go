@@ -1,0 +1,341 @@
+package metrics
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// SinkConfig configures the exporter sink.
+type SinkConfig struct {
+	// Registry receives the series (nil builds a default-bounded one).
+	Registry *Registry
+	// Cost prices the energy/deadline ledger into the dollar series. The
+	// zero model exports zero dollars.
+	Cost CostModel
+	// MaxClasses bounds the workload-class label: the first MaxClasses
+	// distinct classes keep their names, later ones fold into "other" —
+	// classes come from user input, and an unbounded label is how a
+	// metrics endpoint becomes a memory leak. 0 selects the default 32.
+	MaxClasses int
+	// QoEAlpha is the EWMA weight of the newest GOP's QoE sample in the
+	// per-(shard, class) qoe_score gauge, clamped to (0, 1]. 0 selects
+	// the default 0.25.
+	QoEAlpha float64
+}
+
+// Sink implements serve.Sink, translating the fleet's event stream into
+// bounded-cardinality registry series: per-shard load and platform
+// ledgers, per-class throughput and quality, admission-ladder depth,
+// placement/migration/rebalance/resize rates, estimation error, and the
+// cost model's dollar and QoE series. Wire it into a fleet with
+// serve.WithMetrics and serve the scrape endpoint with Handler.
+//
+// Label discipline (the tentpole rule): every label set is fleet-bounded
+// — shard index, folded workload class, fixed rung and state names.
+// Session ids never become labels.
+//
+// The On* methods rely on the fleet's serialized sink dispatch and keep
+// no locks of their own; the registry is internally synchronized, so
+// scrapes may race delivery freely.
+type Sink struct {
+	serve.NopSink // session-scoped events we consume are overridden below
+
+	reg      *Registry
+	cost     CostModel
+	alpha    float64
+	maxClass int
+
+	// classOf maps (shard, session) → folded class label; classes is the
+	// bounded set of label values handed out so far. doomed marks
+	// terminal sessions for pruning after their final round's metrics —
+	// the terminal state change arrives *before* the session's last
+	// OnGOP (the Sink contract), so pruning on sight would misattribute
+	// the final GOP.
+	classOf map[[2]int]string
+	classes map[string]bool
+	doomed  map[[2]int]bool
+	// qoe holds the per-(shard, class) EWMA state behind the gauge.
+	qoe map[[2]string]float64
+	// prevCost tracks each shard's last priced cumulative cost, so the
+	// per-class attribution distributes exact per-round deltas.
+	prevCost map[int]float64
+
+	rounds        Counter
+	gops          Counter
+	frames        Counter
+	placements    Counter
+	migrations    Counter
+	rebalances    Counter
+	shardsAdded   Counter
+	shardsRemoved Counter
+	states        Counter
+	energy        Counter
+	misses        Counter
+	costDollars   Counter
+	classCost     Counter
+
+	sessions  Gauge
+	demand    Gauge
+	capacity  Gauge
+	util      Gauge
+	coresUsed Gauge
+	avgPower  Gauge
+	peakPower Gauge
+	ladder    Gauge
+	liveNow   Gauge
+	qoeGauge  Gauge
+
+	estErr Histogram
+	psnr   Histogram
+}
+
+// NewSink builds the exporter sink and registers its metric families.
+func NewSink(cfg SinkConfig) *Sink {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry(RegistryOptions{})
+	}
+	if cfg.MaxClasses <= 0 {
+		cfg.MaxClasses = 32
+	}
+	if !(cfg.QoEAlpha > 0) || cfg.QoEAlpha > 1 { // NaN-safe
+		cfg.QoEAlpha = 0.25
+	}
+	s := &Sink{
+		reg:      reg,
+		cost:     cfg.Cost,
+		alpha:    cfg.QoEAlpha,
+		maxClass: cfg.MaxClasses,
+		classOf:  make(map[[2]int]string),
+		classes:  make(map[string]bool),
+		doomed:   make(map[[2]int]bool),
+		qoe:      make(map[[2]string]float64),
+		prevCost: make(map[int]float64),
+	}
+	s.rounds = reg.Counter("repro_rounds_total", "Settled serving rounds per shard.", "shard")
+	s.gops = reg.Counter("repro_gops_total", "GOPs served, by shard and workload class.", "shard", "class")
+	s.frames = reg.Counter("repro_frames_total", "Frames encoded, by shard and workload class.", "shard", "class")
+	s.placements = reg.Counter("repro_placements_total", "Session placements routed to each shard.", "shard")
+	s.migrations = reg.Counter("repro_migrations_total", "Session migration hops from resize drains.")
+	s.rebalances = reg.Counter("repro_rebalances_total", "Session hops shed by hot-shard rebalancing.")
+	s.shardsAdded = reg.Counter("repro_shards_added_total", "Shards added by resizes.")
+	s.shardsRemoved = reg.Counter("repro_shards_removed_total", "Shards removed by resizes.")
+	s.states = reg.Counter("repro_session_states_total", "Session lifecycle transitions, by shard and state.", "shard", "state")
+	s.energy = reg.Counter("repro_energy_joules_total", "Cumulative platform energy per shard (exact mpsoc ledger).", "shard")
+	s.misses = reg.Counter("repro_deadline_misses_total", "Cumulative frame-deadline misses per shard (exact mpsoc ledger).", "shard")
+	s.costDollars = reg.Counter("repro_cost_dollars_total", "Cumulative operating cost per shard under the cost model.", "shard")
+	s.classCost = reg.Counter("repro_class_cost_dollars_total", "Operating cost attributed to workload classes by encode-time share.", "class")
+
+	s.sessions = reg.Gauge("repro_sessions", "Live sessions per shard.", "shard")
+	s.demand = reg.Gauge("repro_demand_cores", "Summed core demand of live sessions per shard.", "shard")
+	s.capacity = reg.Gauge("repro_capacity_cores", "Platform core capacity per shard.", "shard")
+	s.util = reg.Gauge("repro_utilization", "Demand over capacity per shard.", "shard")
+	s.coresUsed = reg.Gauge("repro_cores_used", "Cores the last settled round's allocation used.", "shard")
+	s.avgPower = reg.Gauge("repro_avg_power_watts", "Lifetime average platform power per shard.", "shard")
+	s.peakPower = reg.Gauge("repro_peak_power_watts", "Highest per-slot average power seen per shard.", "shard")
+	s.ladder = reg.Gauge("repro_ladder_sessions", "Live sessions per admission-ladder rung, as of each shard's last round.", "shard", "rung")
+	s.liveNow = reg.Gauge("repro_live_shards", "Routable shards after the last membership change.")
+	s.qoeGauge = reg.Gauge("repro_qoe_score", "EWMA QoE score per shard and class (1 = transparent full-rate service).", "shard", "class")
+
+	s.estErr = reg.Histogram("repro_estimate_error",
+		"Per-round mean relative stage-D1 estimation error.",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2}, "shard")
+	s.psnr = reg.Histogram("repro_gop_psnr_db",
+		"Mean GOP PSNR by shard and workload class.",
+		[]float64{25, 30, 32, 34, 36, 38, 40, 42, 45}, "shard", "class")
+	return s
+}
+
+// Registry exposes the sink's registry (for composing extra metrics or
+// scraping programmatically).
+func (s *Sink) Registry() *Registry { return s.reg }
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (s *Sink) Handler() http.Handler { return s.reg.Handler() }
+
+// classLabel folds a raw workload class into the bounded label set.
+func (s *Sink) classLabel(class string) string {
+	if s.classes[class] {
+		return class
+	}
+	if len(s.classes) >= s.maxClass {
+		return "other"
+	}
+	s.classes[class] = true
+	return class
+}
+
+func shardLabel(shard int) string { return strconv.Itoa(shard) }
+
+// rungName classifies a session's ladder position into the fixed rung
+// label set. The deepest degradation in force wins: rate halving is the
+// ladder's last rung, QP offsets its middle rungs, the tiling fallback
+// its first.
+func rungName(ls core.LadderState) string {
+	switch {
+	case ls.RateHalved:
+		return "rate-halved"
+	case ls.QPOffset > 0:
+		return "qp-offset"
+	case ls.Rung > 0:
+		return "degraded-tiling"
+	}
+	return "none"
+}
+
+var rungNames = []string{"none", "degraded-tiling", "qp-offset", "rate-halved"}
+
+func (s *Sink) OnSessionPlaced(e serve.PlacementEvent) {
+	shard := shardLabel(e.Shard)
+	s.placements.Add(1, shard)
+	s.classOf[[2]int{e.Shard, e.Session}] = s.classLabel(e.Class)
+}
+
+func (s *Sink) OnSessionStateChange(e serve.SessionEvent) {
+	s.states.Add(1, shardLabel(e.Shard), e.State.String())
+	if e.State != core.StateQueued {
+		// Terminal — but the session's final OnGOP is still to come this
+		// round; prune after the round's metrics instead of now.
+		s.doomed[[2]int{e.Shard, e.Session}] = true
+	}
+}
+
+func (s *Sink) OnGOP(e serve.GOPEvent) {
+	shard := shardLabel(e.Shard)
+	class := s.classOf[[2]int{e.Shard, e.Session}]
+	if class == "" {
+		class = "other"
+	}
+	s.gops.Add(1, shard, class)
+	s.frames.Add(float64(len(e.GOP.Frames)), shard, class)
+	s.psnr.Observe(e.GOP.MeanPSNR, shard, class)
+}
+
+func (s *Sink) OnRoundMetrics(e serve.RoundEvent) {
+	shard := shardLabel(e.Shard)
+	out := e.Outcome
+	s.rounds.Add(1, shard)
+
+	// The cumulative platform ledger, set (not re-accumulated) so the
+	// exported totals are bit-exact with core's mpsoc.Totals.
+	t := out.Totals
+	s.energy.Set(t.EnergyJ, shard)
+	s.misses.Set(float64(t.DeadlineMisses), shard)
+	s.avgPower.Set(t.AvgPowerW(), shard)
+	s.peakPower.Set(t.PeakPowerW, shard)
+	costNow := s.cost.Cost(t)
+	s.costDollars.Set(costNow, shard)
+
+	// Load as of the settlement.
+	s.sessions.Set(float64(e.Load.Sessions), shard)
+	s.demand.Set(float64(e.Load.DemandCores), shard)
+	s.capacity.Set(float64(e.Load.CapacityCores), shard)
+	s.util.Set(e.Load.Util, shard)
+	if out.Allocation != nil {
+		s.coresUsed.Set(float64(out.Allocation.CoresUsed), shard)
+	}
+	if out.EstimateTiles > 0 {
+		s.estErr.Observe(out.EstimateErr, shard)
+	}
+
+	// Admission-ladder depth: reset every rung each round so recovered
+	// sessions leave their old rung's count.
+	depth := make(map[string]int, len(rungNames))
+	for _, ls := range out.Ladder {
+		depth[rungName(ls)]++
+	}
+	for _, rung := range rungNames {
+		s.ladder.Set(float64(depth[rung]), shard, rung)
+	}
+
+	// Per-GOP QoE and the per-class attribution of this round's cost
+	// delta, both in ascending session id so EWMA state is reproducible.
+	ids := make([]int, 0, len(out.GOPs))
+	totalCPU := 0.0
+	for id, gop := range out.GOPs {
+		ids = append(ids, id)
+		totalCPU += gop.CPUTime.Seconds()
+	}
+	sort.Ints(ids)
+	costDelta := costNow - s.prevCost[e.Shard]
+	s.prevCost[e.Shard] = costNow
+	roundMisses := 0
+	if out.Energy != nil {
+		roundMisses = out.Energy.DeadlineMisses
+	}
+	for _, id := range ids {
+		gop := out.GOPs[id]
+		class := s.classOf[[2]int{e.Shard, id}]
+		if class == "" {
+			class = "other"
+		}
+		// Cost attribution: encode CPU time is the resource the allocator
+		// prices, so it is the share each class pays. A round with no
+		// measurable CPU splits evenly.
+		share := 1.0 / float64(len(ids))
+		if totalCPU > 0 {
+			share = gop.CPUTime.Seconds() / totalCPU
+		}
+		s.classCost.Add(costDelta*share, class)
+
+		ls := out.Ladder[id]
+		score := QoEScore(QoEInput{
+			PSNRdB:         gop.MeanPSNR,
+			QPOffset:       ls.QPOffset,
+			DegradedTiling: ls.Rung > 0 && ls.QPOffset == 0 && !ls.RateHalved,
+			RateHalved:     ls.RateHalved,
+			DeadlineMisses: roundMisses,
+		})
+		key := [2]string{shard, class}
+		prev, seen := s.qoe[key]
+		if !seen {
+			prev = score
+		}
+		ewma := s.alpha*score + (1-s.alpha)*prev
+		s.qoe[key] = ewma
+		s.qoeGauge.Set(ewma, shard, class)
+	}
+
+	// This round's terminal sessions have had their final GOPs
+	// attributed; drop their class entries now.
+	for k := range s.doomed {
+		if k[0] == e.Shard {
+			delete(s.classOf, k)
+			delete(s.doomed, k)
+		}
+	}
+}
+
+func (s *Sink) OnShardAdded(e serve.ShardEvent) {
+	s.shardsAdded.Add(1)
+	s.liveNow.Set(float64(e.Live))
+}
+
+func (s *Sink) OnShardRemoved(e serve.ShardEvent) {
+	s.shardsRemoved.Add(1)
+	s.liveNow.Set(float64(e.Live))
+}
+
+func (s *Sink) OnSessionMigrated(e serve.MigrationEvent) {
+	s.migrations.Add(1)
+	s.moveClass(e)
+}
+
+func (s *Sink) OnSessionRebalanced(e serve.MigrationEvent) {
+	s.rebalances.Add(1)
+	s.moveClass(e)
+}
+
+// moveClass rebinds a migrated session's class to its new (shard, id).
+func (s *Sink) moveClass(e serve.MigrationEvent) {
+	from := [2]int{e.FromShard, e.FromSession}
+	delete(s.classOf, from)
+	delete(s.doomed, from)
+	s.classOf[[2]int{e.ToShard, e.ToSession}] = s.classLabel(e.Class)
+}
+
+var _ serve.Sink = (*Sink)(nil)

@@ -1,0 +1,350 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/medgen"
+	"repro/internal/serve"
+)
+
+// testSource renders a deterministic synthetic study under an arbitrary
+// workload-class name (the fleet's routing key).
+func testSource(t testing.TB, class string, seed int64, frames int) core.FrameSource {
+	t.Helper()
+	cfg := medgen.Default()
+	cfg.Width, cfg.Height = 256, 192
+	cfg.Class = medgen.Class(int(seed) % medgen.NumClasses)
+	cfg.Frames = frames
+	cfg.Seed = seed
+	g, err := medgen.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := core.SourceFromGenerator(g, frames, cfg.FPS, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func testSessionConfig() core.SessionConfig {
+	cfg := core.DefaultSessionConfig()
+	cfg.Codec.GOPSize = 4
+	cfg.Codec.IntraPeriod = 8
+	cfg.Retile.MinTileW, cfg.Retile.MinTileH = 48, 48
+	return cfg
+}
+
+// sample is one parsed exposition line.
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseExposition parses Prometheus text format (enough of it for these
+// tests: no escaped quotes inside the label values we emit here).
+func parseExposition(t *testing.T, text string) []sample {
+	t.Helper()
+	var out []sample
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		s := sample{labels: map[string]string{}}
+		nameAndLabels := fields[0]
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			s.name = nameAndLabels[:i]
+			body := strings.TrimSuffix(nameAndLabels[i+1:], "}")
+			for _, pair := range strings.Split(body, ",") {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok {
+					t.Fatalf("malformed label pair %q in %q", pair, line)
+				}
+				s.labels[k] = strings.Trim(v, `"`)
+			}
+		} else {
+			s.name = nameAndLabels
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		s.value = v
+		out = append(out, s)
+	}
+	return out
+}
+
+// find returns the single sample matching name and labels (subset
+// match), failing the test when absent or ambiguous.
+func find(t *testing.T, samples []sample, name string, labels map[string]string) float64 {
+	t.Helper()
+	var hits []sample
+outer:
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.labels[k] != v {
+				continue outer
+			}
+		}
+		hits = append(hits, s)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("%d samples match %s%v", len(hits), name, labels)
+	}
+	return hits[0].value
+}
+
+// sum adds every sample of name matching the label subset.
+func sum(samples []sample, name string, labels map[string]string) float64 {
+	total := 0.0
+outer:
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.labels[k] != v {
+				continue outer
+			}
+		}
+		total += s.value
+	}
+	return total
+}
+
+// TestExporterReconcilesWithFleet is the exporter's acceptance test: a
+// 3-shard fleet under churn — arrivals mid-run, a grow-and-shrink resize
+// with session migration — serves /metrics throughout; the endpoint must
+// answer with well-formed finite text mid-churn, and the final scrape's
+// energy, deadline-miss, cost, round, GOP and migration series must
+// equal the RingSink-derived (mpsoc.Totals-backed) values exactly — not
+// approximately.
+func TestExporterReconcilesWithFleet(t *testing.T) {
+	cost := CostModel{DollarsPerJoule: 0.0005, DollarsPerDeadlineMiss: 0.01}
+	sink := NewSink(SinkConfig{Cost: cost})
+	ring := serve.NewRingSink(4096)
+	f, err := serve.New(
+		serve.WithShards(3),
+		serve.WithSink(ring),
+		serve.WithMetrics(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sink.Handler())
+	defer srv.Close()
+
+	// One session homed on each shard, then churn: more arrivals from a
+	// round hook would race this test's assertions, so arrivals come from
+	// the main goroutine between observable phases instead.
+	classes := homedClasses(t, f, 3)
+	for i, class := range classes {
+		if _, err := f.Submit(testSource(t, class, int64(i+1), 16), testSessionConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := f.Run(context.Background())
+		runDone <- err
+	}()
+
+	// Wait for live rounds, then scrape mid-churn.
+	waitFor(t, func() bool { return ring.Report(-1).Rounds >= 2 })
+	mid := scrape(t, srv.URL)
+	midSamples := parseExposition(t, mid)
+	if len(midSamples) == 0 {
+		t.Fatal("mid-churn scrape is empty")
+	}
+	if v := sum(midSamples, "repro_energy_joules_total", nil); !(v > 0) {
+		t.Fatalf("mid-churn energy total %v, want > 0 and finite", v)
+	}
+
+	// Grow, land sessions on the new shard, then shrink — forcing
+	// migrations the exporter must count.
+	if err := f.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	grown := homedClasses(t, f, 4)
+	for i, class := range grown[3:] {
+		if _, err := f.Submit(testSource(t, class, int64(10+i), 32), testSessionConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool {
+		r, ok := ring.ShardLoad(3)
+		return ok && r.Sessions > 0
+	})
+	if err := f.Resize(3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if ring.Migrations() == 0 {
+		t.Fatal("churn produced no migrations — the reconciliation below would prove nothing")
+	}
+
+	// Final reconciliation: exact equality per shard against the
+	// RingSink's (shard, id)-keyed fleet view.
+	samples := parseExposition(t, scrape(t, srv.URL))
+	fleet := ring.FleetReport()
+	for shard, rep := range fleet.Shards {
+		if rep.Rounds == 0 {
+			continue // a shard that never settled a round exports nothing
+		}
+		lbl := map[string]string{"shard": strconv.Itoa(shard)}
+		if got := find(t, samples, "repro_energy_joules_total", lbl); got != rep.Energy.EnergyJ {
+			t.Errorf("shard %d energy: exported %v, ledger %v", shard, got, rep.Energy.EnergyJ)
+		}
+		if got := find(t, samples, "repro_deadline_misses_total", lbl); got != float64(rep.Energy.DeadlineMisses) {
+			t.Errorf("shard %d misses: exported %v, ledger %d", shard, got, rep.Energy.DeadlineMisses)
+		}
+		if got, want := find(t, samples, "repro_cost_dollars_total", lbl), cost.Cost(rep.Energy); got != want {
+			t.Errorf("shard %d cost: exported %v, ledger-derived %v", shard, got, want)
+		}
+		if got := find(t, samples, "repro_rounds_total", lbl); got != float64(rep.Rounds) {
+			t.Errorf("shard %d rounds: exported %v, ring %d", shard, got, rep.Rounds)
+		}
+		if got := sum(samples, "repro_gops_total", lbl); got != float64(rep.GOPReports) {
+			t.Errorf("shard %d gops: exported %v, ring %d", shard, got, rep.GOPReports)
+		}
+		if got := sum(samples, "repro_frames_total", lbl); got != float64(rep.FramesEncoded) {
+			t.Errorf("shard %d frames: exported %v, ring %d", shard, got, rep.FramesEncoded)
+		}
+	}
+	if got := sum(samples, "repro_migrations_total", nil); got != float64(ring.Migrations()) {
+		t.Errorf("migrations: exported %v, ring %d", got, ring.Migrations())
+	}
+	if got := sum(samples, "repro_rebalances_total", nil); got != float64(ring.Rebalances()) {
+		t.Errorf("rebalances: exported %v, ring %d", got, ring.Rebalances())
+	}
+	added, removed := ring.Resizes()
+	if got := sum(samples, "repro_shards_added_total", nil); got != float64(added) {
+		t.Errorf("shards added: exported %v, ring %d", got, added)
+	}
+	if got := sum(samples, "repro_shards_removed_total", nil); got != float64(removed) {
+		t.Errorf("shards removed: exported %v, ring %d", got, removed)
+	}
+	if got := sum(samples, "repro_placements_total", nil); got != float64(ring.Placements()) {
+		t.Errorf("placements: exported %v, ring %d", got, ring.Placements())
+	}
+	for _, s := range samples {
+		if s.name == "repro_qoe_score" && (s.value < 0 || s.value > 1) {
+			t.Errorf("qoe score %v outside [0, 1] for %v", s.value, s.labels)
+		}
+	}
+	if got := sum(samples, "repro_metrics_dropped_series_total", nil); got != 0 {
+		t.Errorf("registry dropped %v series under a normal fleet run", got)
+	}
+}
+
+// TestExporterBoundsClassCardinality: a flood of distinct workload
+// classes folds into "other" past MaxClasses — session-driven input can
+// never grow the class label set without bound.
+func TestExporterBoundsClassCardinality(t *testing.T) {
+	sink := NewSink(SinkConfig{MaxClasses: 3})
+	ring := serve.NewRingSink(64)
+	f, err := serve.New(serve.WithShards(1), serve.WithSink(ring), serve.WithMetrics(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := f.Submit(testSource(t, fmt.Sprintf("flood-%d", i), int64(i+1), 4), testSessionConfig()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sink.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]bool{}
+	for _, s := range parseExposition(t, b.String()) {
+		if c, ok := s.labels["class"]; ok {
+			classes[c] = true
+		}
+	}
+	if len(classes) > 4 { // 3 named + "other"
+		t.Fatalf("class label grew to %d values under a MaxClasses of 3: %v", len(classes), classes)
+	}
+	if !classes["other"] {
+		t.Fatalf("flood classes were not folded into \"other\": %v", classes)
+	}
+	if got, want := sum(parseExposition(t, b.String()), "repro_gops_total", nil), float64(ring.Report(-1).GOPReports); got != want {
+		t.Fatalf("folding lost GOPs: exported %v, ring %v", got, want)
+	}
+}
+
+// homedClasses finds one class name homed on each of the fleet's n live
+// shards.
+func homedClasses(t *testing.T, f *serve.Fleet, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	found := 0
+	for i := 0; found < n && i < 10000; i++ {
+		class := fmt.Sprintf("class-%d", i)
+		home := f.HomeShard(class)
+		if home >= 0 && home < n && out[home] == "" {
+			out[home] = class
+			found++
+		}
+	}
+	if found != n {
+		t.Fatalf("no class homed on every one of %d shards: %v", n, out)
+	}
+	return out
+}
+
+// waitFor polls cond with a deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// scrape GETs the endpoint and returns the body.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape status %s", resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -15,8 +15,18 @@ package mpsoc
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
+
+// finite reports whether x is a usable real number. Validation uses it
+// because NaN slips through ordinary range checks (NaN < 0 is false), and
+// one non-finite platform parameter turns every downstream energy figure
+// into NaN/Inf — which encoding/json refuses to marshal, silently killing
+// JSONL and metrics lines built from the reports.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
 
 // FreqLevel is one DVFS operating point.
 type FreqLevel struct {
@@ -107,7 +117,7 @@ func (p *Platform) Validate() error {
 		return fmt.Errorf("mpsoc: no frequency levels")
 	}
 	for i, l := range p.Levels {
-		if l.Hz <= 0 || l.Volt <= 0 {
+		if !finite(l.Hz) || !finite(l.Volt) || l.Hz <= 0 || l.Volt <= 0 {
 			return fmt.Errorf("mpsoc: level %d invalid (%v Hz, %v V)", i, l.Hz, l.Volt)
 		}
 		if i > 0 {
@@ -119,6 +129,9 @@ func (p *Platform) Validate() error {
 	}
 	if p.DVFSLatency < 0 {
 		return fmt.Errorf("mpsoc: negative DVFS latency")
+	}
+	if !finite(p.Power.StaticW) || !finite(p.Power.CeffWPerV2GHz) || !finite(p.Power.IdleFrac) || !finite(p.Power.GatedW) {
+		return fmt.Errorf("mpsoc: non-finite power model %+v", p.Power)
 	}
 	if p.Power.StaticW < 0 || p.Power.CeffWPerV2GHz <= 0 || p.Power.IdleFrac < 0 || p.Power.IdleFrac >= 1 {
 		return fmt.Errorf("mpsoc: invalid power model %+v", p.Power)
@@ -229,7 +242,13 @@ func (p *Platform) SimulateSlot(plans []CorePlan, slot time.Duration) (*SlotRepo
 		eIdle := p.Power.IdleWatts(p.Levels[plan.IdleLevel]) * idle.Seconds()
 		rep.EnergyJ += eBusy + eIdle
 	}
-	rep.AvgPowerW = rep.EnergyJ / slot.Seconds()
+	// Guarded like Totals.AvgPowerW: a degenerate slot must yield 0, not
+	// the NaN/Inf that encoding/json refuses to marshal (the entry check
+	// rejects non-positive slots today; this keeps the report JSON-safe
+	// even if that precondition ever loosens).
+	if sec := slot.Seconds(); sec > 0 {
+		rep.AvgPowerW = rep.EnergyJ / sec
+	}
 	return rep, nil
 }
 

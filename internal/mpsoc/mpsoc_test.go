@@ -1,6 +1,7 @@
 package mpsoc
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -302,5 +303,48 @@ func TestTotalsAccumulateSlotReports(t *testing.T) {
 	var empty Totals
 	if empty.AvgPowerW() != 0 {
 		t.Fatal("empty totals must report zero power")
+	}
+}
+
+// TestValidateRejectsNonFinitePlatform is the regression test for the
+// power-math bug: NaN/Inf parameters pass ordinary range checks (NaN < 0
+// is false), flow into the slot energy model, and yield a SlotReport whose
+// AvgPowerW/EnergyJ encoding/json refuses to marshal — killing JSONL and
+// metrics lines downstream. Validate must catch them at the source.
+func TestValidateRejectsNonFinitePlatform(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	mutations := []func(*Platform){
+		func(p *Platform) { p.Levels[0].Volt = nan },
+		func(p *Platform) { p.Levels[1].Hz = inf },
+		func(p *Platform) { p.Power.StaticW = inf },
+		func(p *Platform) { p.Power.StaticW = nan },
+		func(p *Platform) { p.Power.CeffWPerV2GHz = nan },
+		func(p *Platform) { p.Power.IdleFrac = nan },
+		func(p *Platform) { p.Power.GatedW = nan },
+	}
+	for i, mutate := range mutations {
+		p := XeonE5_2667V4()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: non-finite platform passed validation", i)
+		}
+	}
+}
+
+// TestSlotReportJSONSafe pins the contract end to end: for any platform
+// SimulateSlot accepts, the resulting report must be marshalable — no
+// NaN/Inf may reach AvgPowerW or EnergyJ. Pre-fix, a NaN supply voltage
+// passed Validate and produced a report json.Marshal rejects.
+func TestSlotReportJSONSafe(t *testing.T) {
+	p := XeonE5_2667V4()
+	p.Levels[2].Volt = math.NaN()
+	plans := make([]CorePlan, p.Cores)
+	plans[0] = CorePlan{LoadAtFmax: 10 * time.Millisecond, BusyLevel: 2}
+	rep, err := p.SimulateSlot(plans, time.Second/24)
+	if err != nil {
+		return // rejected at validation — the fixed behavior
+	}
+	if _, merr := json.Marshal(rep); merr != nil {
+		t.Fatalf("SimulateSlot accepted the platform but its report is not marshalable: %v", merr)
 	}
 }

@@ -47,8 +47,9 @@ type options struct {
 	rebalance *RebalanceConfig
 	placement *PlacementConfig
 
-	sink      Sink
-	roundHook func(shard int, out *core.GOPOutcome)
+	sink       Sink
+	extraSinks []Sink
+	roundHook  func(shard int, out *core.GOPOutcome)
 
 	lutPath string
 
@@ -162,6 +163,22 @@ func WithTimeScale(scale float64) Option {
 // ServiceReports into its Run result.
 func WithSink(s Sink) Option {
 	return func(o *options) { o.sink = s }
+}
+
+// WithMetrics streams the fleet's telemetry to an additional sink
+// alongside WithSink — the wiring point for observability exporters
+// (internal/metrics implements Sink but serve cannot import it without a
+// cycle, so the option takes the interface). May be given more than
+// once; every sink sees every event through one MultiSink fan-out, under
+// the same serialized delivery contract.
+func WithMetrics(s Sink) Option {
+	return func(o *options) {
+		if s == nil {
+			o.errs = append(o.errs, errors.New("serve: nil metrics sink"))
+			return
+		}
+		o.extraSinks = append(o.extraSinks, s)
+	}
 }
 
 // WithRoundHook invokes fn after every settled shard round (after the
@@ -297,6 +314,17 @@ func New(opts ...Option) (*Fleet, error) {
 	}
 	if len(o.errs) > 0 {
 		return nil, errors.Join(o.errs...)
+	}
+	if len(o.extraSinks) > 0 {
+		sinks := o.extraSinks
+		if o.sink != nil {
+			sinks = append([]Sink{o.sink}, sinks...)
+		}
+		if len(sinks) == 1 {
+			o.sink = sinks[0]
+		} else {
+			o.sink = MultiSink(sinks...)
+		}
 	}
 	platforms := o.platforms
 	if platforms == nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -217,14 +218,21 @@ type RingSink struct {
 	mu sync.Mutex
 
 	capacity int
-	outcomes []*core.GOPOutcome // ring buffer
-	next     int                // write position
-	total    int                // outcomes ever seen
+	outcomes []ringEntry // ring buffer
+	next     int         // write position
+	total    int         // outcomes ever seen
 
 	rounds     int
 	frames     int
 	gopReports int
 	energy     mpsoc.Totals
+
+	// Per-shard slices of the aggregates above, keyed by shard index —
+	// what FleetReport scopes its sub-reports with.
+	roundsBy map[int]int
+	framesBy map[int]int
+	gopsBy   map[int]int
+	energyBy map[int]mpsoc.Totals
 
 	migrations    int
 	rebalances    int
@@ -235,6 +243,13 @@ type RingSink struct {
 	states map[[2]int]core.SessionState // (shard, session) → latest state
 	errs   map[[2]int]error
 	loads  map[int]core.LoadReport // shard → latest load report
+}
+
+// ringEntry tags a retained round outcome with the shard it settled on,
+// so FleetReport can scope the ring per shard.
+type ringEntry struct {
+	shard   int
+	outcome *core.GOPOutcome
 }
 
 // NewRingSink builds a sink retaining the last capacity round outcomes
@@ -248,6 +263,10 @@ func NewRingSink(capacity int) *RingSink {
 		states:   make(map[[2]int]core.SessionState),
 		errs:     make(map[[2]int]error),
 		loads:    make(map[int]core.LoadReport),
+		roundsBy: make(map[int]int),
+		framesBy: make(map[int]int),
+		gopsBy:   make(map[int]int),
+		energyBy: make(map[int]mpsoc.Totals),
 	}
 }
 
@@ -256,6 +275,8 @@ func (s *RingSink) OnGOP(e GOPEvent) {
 	defer s.mu.Unlock()
 	s.gopReports++
 	s.frames += len(e.GOP.Frames)
+	s.gopsBy[e.Shard]++
+	s.framesBy[e.Shard] += len(e.GOP.Frames)
 }
 
 func (s *RingSink) OnSessionStateChange(e SessionEvent) {
@@ -289,10 +310,14 @@ func (s *RingSink) OnRoundMetrics(e RoundEvent) {
 	s.rounds++
 	s.loads[e.Shard] = e.Load
 	s.energy.Add(e.Outcome.Energy)
+	s.roundsBy[e.Shard]++
+	perShard := s.energyBy[e.Shard]
+	perShard.Add(e.Outcome.Energy)
+	s.energyBy[e.Shard] = perShard
 	if len(s.outcomes) < s.capacity {
-		s.outcomes = append(s.outcomes, e.Outcome)
+		s.outcomes = append(s.outcomes, ringEntry{e.Shard, e.Outcome})
 	} else {
-		s.outcomes[s.next] = e.Outcome
+		s.outcomes[s.next] = ringEntry{e.Shard, e.Outcome}
 	}
 	s.next = (s.next + 1) % s.capacity
 	s.total++
@@ -423,14 +448,122 @@ func (s *RingSink) Report(shard int) *core.ServiceReport {
 		}
 	}
 	// Ring contents in arrival order (oldest first).
-	if s.total <= s.capacity {
-		rep.Outcomes = append(rep.Outcomes, s.outcomes...)
-	} else {
-		for i := 0; i < s.capacity; i++ {
-			rep.Outcomes = append(rep.Outcomes, s.outcomes[(s.next+i)%s.capacity])
-		}
+	for _, entry := range s.ringOrderLocked() {
+		rep.Outcomes = append(rep.Outcomes, entry.outcome)
 	}
 	return rep
+}
+
+// ringOrderLocked returns the retained ring entries oldest-first. Caller
+// holds s.mu.
+func (s *RingSink) ringOrderLocked() []ringEntry {
+	if s.total <= s.capacity {
+		return s.outcomes
+	}
+	ordered := make([]ringEntry, 0, s.capacity)
+	for i := 0; i < s.capacity; i++ {
+		ordered = append(ordered, s.outcomes[(s.next+i)%s.capacity])
+	}
+	return ordered
+}
+
+// FleetReport is the collision-free multi-shard answer to Report(-1):
+// session ids are shard-local, so a fleet-wide ServiceReport built by
+// merging id lists silently collapses distinct sessions that share an id
+// across shards (two shards' session 0 become one entry, and one failed
+// session's error overwrites the other's). FleetReport keeps every
+// session under its own shard's sub-report and carries only id-free
+// aggregates at the fleet level.
+type FleetReport struct {
+	// Shards maps shard index → that shard's scoped ServiceReport (ids,
+	// errors, counters and retained round outcomes all shard-local).
+	// Only shards the sink saw telemetry from appear.
+	Shards map[int]*core.ServiceReport
+
+	// Fleet-wide aggregates. Session counts are exact — each session is
+	// counted under the one (shard, id) key it lives at, migrated
+	// donor-side shadows excluded — even when shard-local ids collide.
+	Rounds        int
+	Submitted     int
+	Completed     int
+	Rejected      int
+	Failed        int
+	Migrated      int
+	FramesEncoded int
+	GOPReports    int
+	Energy        mpsoc.Totals
+}
+
+// FleetReport builds the fleet-wide view with per-shard sub-reports.
+// Unlike Report(-1) — which keeps its single-shard semantics unchanged —
+// the result is safe on any fleet size: sessions with colliding
+// shard-local ids stay distinct under their shards.
+func (s *RingSink) FleetReport() *FleetReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fleet := &FleetReport{
+		Shards:        make(map[int]*core.ServiceReport),
+		Rounds:        s.rounds,
+		FramesEncoded: s.frames,
+		GOPReports:    s.gopReports,
+		Energy:        s.energy,
+	}
+	sub := func(shard int) *core.ServiceReport {
+		rep, ok := fleet.Shards[shard]
+		if !ok {
+			rep = &core.ServiceReport{
+				Rounds:        s.roundsBy[shard],
+				FramesEncoded: s.framesBy[shard],
+				GOPReports:    s.gopsBy[shard],
+				Energy:        s.energyBy[shard],
+				Errors:        make(map[int]error),
+			}
+			fleet.Shards[shard] = rep
+		}
+		return rep
+	}
+	// Shards that settled rounds but have no session state yet still get
+	// a sub-report with their counters.
+	for shard := range s.roundsBy {
+		sub(shard)
+	}
+	keys := make([][2]int, 0, len(s.states))
+	for k := range s.states {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rep := sub(k[0])
+		if s.states[k] == core.StateMigrated {
+			rep.Migrated = append(rep.Migrated, k[1])
+			fleet.Migrated++
+			continue
+		}
+		rep.Submitted++
+		fleet.Submitted++
+		switch s.states[k] {
+		case core.StateCompleted:
+			rep.Completed = append(rep.Completed, k[1])
+			fleet.Completed++
+		case core.StateRejected:
+			rep.Rejected = append(rep.Rejected, k[1])
+			fleet.Rejected++
+		case core.StateFailed:
+			rep.Failed = append(rep.Failed, k[1])
+			rep.Errors[k[1]] = s.errs[k]
+			fleet.Failed++
+		}
+	}
+	for _, entry := range s.ringOrderLocked() {
+		rep := sub(entry.shard)
+		rep.Outcomes = append(rep.Outcomes, entry.outcome)
+	}
+	return fleet
 }
 
 // JSONLPolicy selects what a buffered JSONLSink does when its buffer is
@@ -524,6 +657,17 @@ func (s *JSONLSink) Close() error {
 // Dropped reports how many lines a buffered JSONLDrop sink discarded
 // because the writer could not keep up.
 func (s *JSONLSink) Dropped() uint64 { return s.dropped.Load() }
+
+// finiteOr0 clamps a non-finite float to 0: encoding/json refuses to
+// marshal NaN/Inf, and emit drops the whole line when marshaling fails —
+// one poisoned field must not silently kill an otherwise-good telemetry
+// line.
+func finiteOr0(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
 
 // emit routes one event line through the configured mode.
 func (s *JSONLSink) emit(v any) {
@@ -622,8 +766,8 @@ func (s *JSONLSink) OnGOP(e GOPEvent) {
 		GOPIndex: e.GOP.Index,
 		Frames:   len(e.GOP.Frames),
 		Tiles:    e.GOP.Grid.NumTiles(),
-		PSNR:     e.GOP.MeanPSNR,
-		Kbps:     e.GOP.MeanKbps,
+		PSNR:     finiteOr0(e.GOP.MeanPSNR),
+		Kbps:     finiteOr0(e.GOP.MeanKbps),
 		CPUms:    float64(e.GOP.CPUTime.Microseconds()) / 1e3,
 		Digest:   fmt.Sprintf("%016x", e.GOP.Digest),
 	})
@@ -653,12 +797,12 @@ func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
 		TimedOut:    out.TimedOut,
 		Recovered:   out.Recovered,
 		CoresUsed:   out.Allocation.CoresUsed,
-		AvgPowerW:   out.Energy.AvgPowerW,
-		EstimateErr: out.EstimateErr,
+		AvgPowerW:   finiteOr0(out.Energy.AvgPowerW),
+		EstimateErr: finiteOr0(out.EstimateErr),
 		Sessions:    e.Load.Sessions,
 		Demand:      e.Load.DemandCores,
 		Capacity:    e.Load.CapacityCores,
-		Util:        e.Load.Util,
+		Util:        finiteOr0(e.Load.Util),
 	})
 }
 

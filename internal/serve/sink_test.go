@@ -5,8 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpsoc"
 )
 
 // TestJSONLSinkStreamsParseableEvents: every event becomes one valid JSON
@@ -180,6 +184,92 @@ func TestBufferedJSONLSinkServesFleet(t *testing.T) {
 	}
 	if counts["gop"] != 2 || counts["round"] != 2 || counts["session_state"] != 2 {
 		t.Fatalf("event counts %v, want 2 gop / 2 round / 2 session_state", counts)
+	}
+}
+
+// TestFleetReportKeepsCollidingSessionIDsDistinct is the regression test
+// for the multi-shard Report(-1) collision: session ids are shard-local,
+// so when two shards both fail their session 0, the merged fleet view
+// collapses them into one entry and one error silently overwrites the
+// other. FleetReport keys by (shard, id): both sessions must stay
+// distinct under their shards, with exact per-shard counters.
+func TestFleetReportKeepsCollidingSessionIDsDistinct(t *testing.T) {
+	sink := NewRingSink(8)
+	errA := errors.New("shard 0: source truncated")
+	errB := errors.New("shard 1: encoder fault")
+	gop := func(frames int) *core.GOPReport {
+		return &core.GOPReport{Frames: make([]core.FrameReport, frames)}
+	}
+	round := func(shard int, joules float64, misses int) RoundEvent {
+		return RoundEvent{
+			Shard:   shard,
+			Outcome: &core.GOPOutcome{Energy: &mpsoc.SlotReport{EnergyJ: joules, DeadlineMisses: misses}},
+			Load:    core.LoadReport{Sessions: 1},
+		}
+	}
+
+	// Two shards each run their shard-local session 0 to a different
+	// failure, in the order the fleet would deliver it: shard 0 serves one
+	// round, shard 1 two.
+	sink.OnSessionStateChange(SessionEvent{Shard: 0, Session: 0, State: core.StateQueued})
+	sink.OnSessionStateChange(SessionEvent{Shard: 1, Session: 0, State: core.StateQueued})
+	sink.OnGOP(GOPEvent{Shard: 0, Session: 0, GOP: gop(4)})
+	sink.OnRoundMetrics(round(0, 2.5, 1))
+	sink.OnGOP(GOPEvent{Shard: 1, Session: 0, GOP: gop(4)})
+	sink.OnRoundMetrics(round(1, 4.0, 0))
+	sink.OnGOP(GOPEvent{Shard: 1, Session: 0, GOP: gop(4)})
+	sink.OnRoundMetrics(round(1, 3.0, 2))
+	sink.OnSessionStateChange(SessionEvent{Shard: 0, Session: 0, State: core.StateFailed, Err: errA})
+	sink.OnSessionStateChange(SessionEvent{Shard: 1, Session: 0, State: core.StateFailed, Err: errB})
+
+	fleet := sink.FleetReport()
+	if fleet.Submitted != 2 || fleet.Failed != 2 {
+		t.Fatalf("fleet counts submitted=%d failed=%d, want 2/2 — colliding ids collapsed",
+			fleet.Submitted, fleet.Failed)
+	}
+	if len(fleet.Shards) != 2 {
+		t.Fatalf("fleet has %d shard sub-reports, want 2", len(fleet.Shards))
+	}
+	s0, s1 := fleet.Shards[0], fleet.Shards[1]
+	if s0 == nil || s1 == nil {
+		t.Fatalf("missing shard sub-report: %v", fleet.Shards)
+	}
+	if got := s0.Errors[0]; got != errA {
+		t.Fatalf("shard 0 session 0 error = %v, want %v", got, errA)
+	}
+	if got := s1.Errors[0]; got != errB {
+		t.Fatalf("shard 1 session 0 error = %v, want %v — one error overwrote the other", got, errB)
+	}
+	// Per-shard counters are shard-scoped, not fleet-wide.
+	if s0.Rounds != 1 || s1.Rounds != 2 || fleet.Rounds != 3 {
+		t.Fatalf("rounds s0=%d s1=%d fleet=%d, want 1/2/3", s0.Rounds, s1.Rounds, fleet.Rounds)
+	}
+	if s0.FramesEncoded != 4 || s1.FramesEncoded != 8 || s0.GOPReports != 1 || s1.GOPReports != 2 {
+		t.Fatalf("frames s0=%d s1=%d gops s0=%d s1=%d, want 4/8 and 1/2",
+			s0.FramesEncoded, s1.FramesEncoded, s0.GOPReports, s1.GOPReports)
+	}
+	if s0.Energy.EnergyJ != 2.5 || s1.Energy.EnergyJ != 7.0 || fleet.Energy.EnergyJ != 9.5 {
+		t.Fatalf("energy s0=%v s1=%v fleet=%v, want 2.5/7/9.5",
+			s0.Energy.EnergyJ, s1.Energy.EnergyJ, fleet.Energy.EnergyJ)
+	}
+	if s0.Energy.DeadlineMisses != 1 || s1.Energy.DeadlineMisses != 2 {
+		t.Fatalf("deadline misses s0=%d s1=%d, want 1/2",
+			s0.Energy.DeadlineMisses, s1.Energy.DeadlineMisses)
+	}
+	if len(s0.Outcomes) != 1 || len(s1.Outcomes) != 2 {
+		t.Fatalf("retained outcomes s0=%d s1=%d, want 1/2", len(s0.Outcomes), len(s1.Outcomes))
+	}
+
+	// Report(shard) keeps its documented behavior: shard-scoped id lists,
+	// fleet-wide counters.
+	r0 := sink.Report(0)
+	if len(r0.Failed) != 1 || r0.Errors[0] != errA || r0.Rounds != 3 {
+		t.Fatalf("Report(0) changed: failed=%v errors=%v rounds=%d", r0.Failed, r0.Errors, r0.Rounds)
+	}
+	// And the documented -1 collision is exactly why FleetReport exists:
+	// the merged view cannot tell the two session-0s apart.
+	if merged := sink.Report(-1); len(merged.Errors) >= 2 {
+		t.Fatalf("Report(-1) now disambiguates colliding ids (%v) — update FleetReport docs", merged.Errors)
 	}
 }
 
