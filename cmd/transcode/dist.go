@@ -1,0 +1,197 @@
+package main
+
+// The distributed front door: -master runs the routing/supervision node,
+// -agent runs one fleet node that registers with it, and -submit drives
+// sessions into a master (or directly into an agent) over the versioned
+// HTTP/JSON protocol in internal/dist. All policy lives in internal/dist;
+// this file only maps flags onto configs.
+//
+// A minimal localhost fleet:
+//
+//	transcode -master 127.0.0.1:7600 -events /tmp/master.jsonl &
+//	transcode -agent 127.0.0.1:7601 -name a -master-url http://127.0.0.1:7600 &
+//	transcode -agent 127.0.0.1:7602 -name b -master-url http://127.0.0.1:7600 &
+//	transcode -submit http://127.0.0.1:7600 -users 8 -frames 32
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/medgen"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+type distOpts struct {
+	masterAddr string
+	agentAddr  string
+	submitURL  string
+
+	name            string
+	masterURL       string
+	advertiseURL    string
+	heartbeatEvery  time.Duration
+	heartbeatGrace  time.Duration
+	checkpointEvery int
+	eventsPath      string
+
+	// Shared with the local fleet modes.
+	users, shards, width, height, frames int
+	seed                                 int64
+	allocator, sink                      string
+	metricsAddr                          string
+}
+
+// runMaster serves the routing/supervision node until the context is
+// cancelled. Its operational journal (agent joins/deaths, re-imports,
+// lost sessions) goes to -events as JSONL — the artifact the dist-smoke
+// CI job asserts failover against.
+func runMaster(ctx context.Context, o distOpts) error {
+	var events *json.Encoder
+	if o.eventsPath != "" {
+		f, err := os.Create(o.eventsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events = json.NewEncoder(f)
+	}
+	m, err := dist.NewMaster(dist.MasterConfig{
+		Addr:             o.masterAddr,
+		HeartbeatTimeout: o.heartbeatGrace,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+		OnEvent: func(e dist.Event) {
+			if events != nil {
+				_ = events.Encode(e) // serialized by the master's event lock
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := m.Start(ctx); err != nil {
+		return err
+	}
+	defer m.Close()
+	<-ctx.Done()
+	return nil
+}
+
+// runAgent serves one fleet node until the context is cancelled. The
+// fleet options mirror the local -users mode where they make sense for
+// a long-running node; the telemetry sink and the per-agent-labeled
+// metrics endpoint come from the same flags.
+func runAgent(ctx context.Context, o distOpts) error {
+	sink, _, closeSink, err := buildSink(o.sink)
+	if err != nil {
+		return err
+	}
+	fleetOptions := []serve.Option{
+		serve.WithShards(o.shards),
+		serve.WithAllocator(o.allocator),
+		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
+		serve.WithAdmission(core.AdmissionConfig{Enabled: true, RecoverAfterRounds: 3}),
+	}
+	if o.metricsAddr != "" {
+		msink := metrics.NewSink(metrics.SinkConfig{Agent: o.name})
+		srv, err := serveMetrics(o.metricsAddr, msink)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fleetOptions = append(fleetOptions, serve.WithMetrics(msink))
+	}
+	a, err := dist.NewAgent(dist.AgentConfig{
+		Name:            o.name,
+		Addr:            o.agentAddr,
+		AdvertiseURL:    o.advertiseURL,
+		MasterURL:       o.masterURL,
+		HeartbeatEvery:  o.heartbeatEvery,
+		CheckpointEvery: o.checkpointEvery,
+		Sink:            sink,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}, fleetOptions...)
+	if err != nil {
+		return err
+	}
+	if err := a.Start(ctx); err != nil {
+		return err
+	}
+	err = a.Wait()
+	if cerr := closeSink(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// serveMetrics starts a /metrics scrape endpoint for an agent's sink.
+func serveMetrics(addr string, msink *metrics.Sink) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", msink.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "transcode: metrics server: %v\n", err)
+		}
+	}()
+	fmt.Printf("metrics: serving http://%s/metrics\n", ln.Addr())
+	return srv, nil
+}
+
+// runSubmit drives -users sessions into a master's front door (the same
+// endpoint shape works against a standalone agent, which answers without
+// the routed agent name). Sources are sent by spec — regenerated on the
+// serving node — so the submitting process streams no pixels.
+func runSubmit(ctx context.Context, o distOpts) error {
+	client := dist.DefaultClient()
+	classes := []medgen.Class{medgen.Brain, medgen.Chest, medgen.Bone, medgen.SpinalCord}
+	motions := []medgen.MotionKind{medgen.Rotate, medgen.Pan, medgen.Sweep, medgen.Still}
+	for i := 0; i < o.users; i++ {
+		vc := medgen.Default()
+		vc.Width, vc.Height = o.width, o.height
+		vc.Frames = o.frames
+		vc.Class = classes[i%len(classes)]
+		vc.Motion = motions[i%len(motions)]
+		vc.Seed = o.seed + int64(i)
+		src, err := dist.NewMedgenSource(vc, "")
+		if err != nil {
+			return err
+		}
+		spec, err := src.Spec()
+		if err != nil {
+			return err
+		}
+		req := dist.SubmitRequest{
+			Version: dist.ProtocolVersion,
+			Source:  spec,
+			Config:  core.DefaultSessionConfig(),
+		}
+		var resp dist.RoutedSubmitResponse
+		if err := client.PostJSON(ctx, o.submitURL+"/v1/submit", req, &resp); err != nil {
+			return fmt.Errorf("submit user %d: %w", i, err)
+		}
+		if resp.Agent != "" {
+			fmt.Printf("user %2d (%s) → agent %s shard %d session %d\n",
+				i, vc.Class, resp.Agent, resp.Shard, resp.Session)
+		} else {
+			fmt.Printf("user %2d (%s) → shard %d session %d\n", i, vc.Class, resp.Shard, resp.Session)
+		}
+	}
+	return nil
+}

@@ -83,8 +83,47 @@ func main() {
 		metricsGrace = flag.Duration("metrics-grace", 0, "keep the /metrics endpoint up this long after the run drains (for a final scrape)")
 		costJoule    = flag.Float64("cost-per-joule", 0, "cost-model dollars per joule behind repro_cost_dollars_total")
 		costMiss     = flag.Float64("cost-per-miss", 0, "cost-model dollars per frame-deadline miss")
+
+		masterAddr = flag.String("master", "", "run the distributed master (routing + supervision) on ADDR (e.g. 127.0.0.1:7600)")
+		agentAddr  = flag.String("agent", "", "run one distributed agent node on ADDR; -name identifies it, -master-url registers it")
+		submitURL  = flag.String("submit", "", "submit -users synthetic sessions to the master (or agent) at URL and exit")
+
+		agentName    = flag.String("name", "", "this agent's stable identity on the master's ring (required with -agent)")
+		masterURL    = flag.String("master-url", "", "master base URL the agent heartbeats to (empty = standalone agent)")
+		advertiseURL = flag.String("advertise-url", "", "base URL peers reach this agent at (empty = the bound address)")
+		hbEvery      = flag.Duration("heartbeat-every", time.Second, "agent heartbeat period")
+		hbGrace      = flag.Duration("heartbeat-grace", 5*time.Second, "master-side silence before an agent is declared dead and failed over")
+		ckptEvery    = flag.Int("checkpoint-every", 2, "agent wire-checkpoint cadence in settled rounds per shard")
+		eventsPath   = flag.String("events", "", "master operational journal (agent deaths, re-imports) as JSONL at PATH")
 	)
 	flag.Parse()
+
+	if *masterAddr != "" || *agentAddr != "" || *submitURL != "" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		o := distOpts{
+			masterAddr: *masterAddr, agentAddr: *agentAddr, submitURL: *submitURL,
+			name: *agentName, masterURL: *masterURL, advertiseURL: *advertiseURL,
+			heartbeatEvery: *hbEvery, heartbeatGrace: *hbGrace,
+			checkpointEvery: *ckptEvery, eventsPath: *eventsPath,
+			users: *users, shards: *shards, width: *width, height: *height,
+			frames: *frames, seed: *seed,
+			allocator: *allocator, sink: *sinkFlag, metricsAddr: *metricsAddr,
+		}
+		var err error
+		switch {
+		case *masterAddr != "":
+			err = runMaster(ctx, o)
+		case *agentAddr != "":
+			err = runAgent(ctx, o)
+		default:
+			err = runSubmit(ctx, o)
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	cores, err := parseShardCores(*shardCores)
 	if err != nil {

@@ -45,6 +45,32 @@ func (e *Encoder) FramesEncoded() int { return e.frames }
 // the first frame). Callers must not mutate it.
 func (e *Encoder) Reference() *video.Frame { return e.ref }
 
+// Restore rewinds the encoder onto externally-saved state: the
+// reconstructed reference picture and the display-order frame counter —
+// the only state the encoder carries across frames. It is the receiving
+// half of cross-process session migration (core.SessionWire): an encoder
+// restored with the reference a remote peer saved continues the
+// bitstream bit-identically. A nil ref is only legal before any frame
+// has been encoded; the caller keeps ownership discipline (the encoder
+// will never mutate ref, only replace it).
+func (e *Encoder) Restore(ref *video.Frame, frames int) error {
+	if frames < 0 {
+		return fmt.Errorf("codec: negative frame counter %d", frames)
+	}
+	if ref == nil && frames > 0 {
+		return fmt.Errorf("codec: %d frames encoded but no reference picture", frames)
+	}
+	if ref != nil {
+		if ref.Width() != e.cfg.Width || ref.Height() != e.cfg.Height {
+			return fmt.Errorf("codec: reference %dx%d, encoder configured %dx%d",
+				ref.Width(), ref.Height(), e.cfg.Width, e.cfg.Height)
+		}
+	}
+	e.ref = ref
+	e.frames = frames
+	return nil
+}
+
 // EncodeFrame encodes frame f over the given tile grid with per-tile
 // parameters (len(params) must equal the tile count). The frame type is
 // derived from the configured intra period and the encoder's frame counter.

@@ -357,8 +357,8 @@ func TestAbortFailsPendingSessions(t *testing.T) {
 			t.Fatalf("session %d failure not reported through the hook", id)
 		}
 	}
-	if srv.Load() != 0 {
-		t.Fatalf("Load() = %d after Abort", srv.Load())
+	if n := srv.LoadReport().Sessions; n != 0 {
+		t.Fatalf("LoadReport().Sessions = %d after Abort", n)
 	}
 	// Second Abort is a no-op.
 	ids, err = srv.Abort(cause)

@@ -277,26 +277,6 @@ func (s *Server) notifyState(id int, state SessionState, err error) {
 	}
 }
 
-// Load reports how many submitted sessions have not yet reached a terminal
-// state. Safe from any goroutine.
-//
-// Deprecated: the session count is a poor load signal on heterogeneous
-// fleets with non-uniform sessions — use LoadReport, which carries the
-// sessions' summed core demand and the platform capacity alongside the
-// count. Load is kept for callers (and tests) that pin the plain queue
-// depth.
-func (s *Server) Load() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, rec := range s.records {
-		if rec.state == StateQueued {
-			n++
-		}
-	}
-	return n
-}
-
 // Abort fails every session not yet in a terminal state with err and
 // returns their ids (ascending). It is the dispatcher's last resort for a
 // shard whose serving loop died for good: the sessions cannot be served,

@@ -62,8 +62,11 @@ type SessionConfig struct {
 	// the workload LUT (and hence used for allocation). Nil records the
 	// raw measured EncodeTime. The experiment harness installs a model
 	// that re-weights motion-estimation time to an HEVC encoder's cost
-	// structure (see experiments.KvazaarTimeModel).
-	TimeModel func(codec.TileStats) time.Duration
+	// structure (see experiments.KvazaarTimeModel). Excluded from the
+	// wire format (a func cannot cross a process boundary; the model
+	// shapes LUT bookkeeping, never encoded bits) — the receiving server
+	// installs its own.
+	TimeModel func(codec.TileStats) time.Duration `json:"-"`
 	// DemandHint seeds the session's core-demand estimate for load
 	// reporting (Server.LoadReport) before its first round competes —
 	// the serving layer's placement estimate rides in here so a shard's

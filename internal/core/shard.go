@@ -14,9 +14,9 @@ import (
 // its multi-shard Fleet on this interface so tests can substitute
 // instrumented shards without a platform behind them.
 //
-// The concurrency contract mirrors Server's: Submit, Close, Load, StateOf
-// and Store are safe from any goroutine; Run must be the only serving
-// goroutine; Abort must not overlap a Run.
+// The concurrency contract mirrors Server's: Submit, Close, LoadReport,
+// StateOf and Store are safe from any goroutine; Run must be the only
+// serving goroutine; Abort must not overlap a Run.
 type Shard interface {
 	// Submit enqueues a session for service (see Server.Submit).
 	Submit(src FrameSource, cfg SessionConfig) (*Session, error)
@@ -26,11 +26,6 @@ type Shard interface {
 	// Run drives the online service loop until closed-and-drained,
 	// cancellation, or a round-level error.
 	Run(ctx context.Context) (*ServiceReport, error)
-	// Load reports how many submitted sessions are not yet terminal.
-	//
-	// Deprecated: use LoadReport — the session count alone misleads on
-	// heterogeneous fleets with non-uniform sessions.
-	Load() int
 	// LoadReport reports the structured load signal: live sessions, their
 	// summed core demand, the platform capacity, and the utilization.
 	LoadReport() LoadReport
@@ -65,6 +60,12 @@ type Shard interface {
 	FailSession(id int, err error) error
 	// Imported counts sessions adopted from other shards.
 	Imported() int
+
+	// CheckpointSessions wires every checkpointable queued session
+	// non-destructively (see wire.go) — the cross-process crash-recovery
+	// surface. Same calling contract as ExportSession: during a Run, only
+	// from the serving goroutine between rounds.
+	CheckpointSessions() ([]*SessionWire, error)
 }
 
 var _ Shard = (*Server)(nil)

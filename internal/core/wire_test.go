@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/medgen"
+	"repro/internal/workload"
+)
+
+// speccedTestSource wraps the medgen-backed test source with a wire spec,
+// standing in for the production binder in internal/dist.
+type speccedTestSource struct {
+	FrameSource
+	cfg medgen.Config
+}
+
+func (s *speccedTestSource) Spec() (SourceSpec, error) {
+	data, err := json.Marshal(s.cfg)
+	if err != nil {
+		return SourceSpec{}, err
+	}
+	return SourceSpec{Kind: "medgen-test", Class: s.Class(), Data: data}, nil
+}
+
+func bindTestSource(spec SourceSpec) (FrameSource, error) {
+	if spec.Kind != "medgen-test" {
+		return nil, fmt.Errorf("unknown source kind %q", spec.Kind)
+	}
+	var cfg medgen.Config
+	if err := json.Unmarshal(spec.Data, &cfg); err != nil {
+		return nil, err
+	}
+	g, err := medgen.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, err := SourceFromGenerator(g, cfg.Frames, cfg.FPS, spec.Class)
+	if err != nil {
+		return nil, err
+	}
+	return &speccedTestSource{FrameSource: src, cfg: cfg}, nil
+}
+
+// speccedSource builds a wire-capable test source.
+func speccedSource(t *testing.T, class medgen.Class, motion medgen.MotionKind, frames int) FrameSource {
+	t.Helper()
+	cfg := medgen.Default()
+	cfg.Width, cfg.Height = 256, 192
+	cfg.Class = class
+	cfg.Motion = motion
+	cfg.Frames = frames
+	cfg.Seed = int64(class)*100 + int64(motion) + 1
+	g, err := medgen.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := SourceFromGenerator(g, frames, cfg.FPS, class.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &speccedTestSource{FrameSource: src, cfg: cfg}
+}
+
+// wireSnapshotOf wires one directly-driven session as ExportSessions would.
+func wireSnapshotOf(t *testing.T, sess *Session) *SessionWire {
+	t.Helper()
+	snap := &SessionSnapshot{
+		Session:    sess,
+		Class:      sess.Class(),
+		DonorID:    sess.ID,
+		Frame:      sess.NextFrame(),
+		QPOffset:   sess.QPOffset(),
+		Degraded:   sess.Degraded(),
+		RateHalved: sess.RateHalved(),
+	}
+	w, err := snap.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSessionWireRoundTripBitIdentical: a session serialized to JSON at a
+// GOP boundary, decoded in a "different process" (fresh source via the
+// binder, fresh encoder via Restore) and resumed produces exactly the
+// bitstream digests of the uninterrupted run — the cross-machine
+// counterpart of TestMigrationRoundTripBitIdentical.
+func TestSessionWireRoundTripBitIdentical(t *testing.T) {
+	const frames = 16
+	for _, mode := range []Mode{ModeProposed, ModeBaseline} {
+		control, err := NewSession(0, speccedSource(t, medgen.Brain, medgen.Rotate, frames), testSessionConfig(mode), workload.NewLUT())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint64
+		for !control.Finished() {
+			gop, err := control.EncodeGOP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, gop.Digest)
+		}
+
+		donor, err := NewSession(0, speccedSource(t, medgen.Brain, medgen.Rotate, frames), testSessionConfig(mode), workload.NewLUT())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []uint64
+		for i := 0; i < 2; i++ {
+			gop, err := donor.EncodeGOP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, gop.Digest)
+		}
+		wire := wireSnapshotOf(t, donor)
+		blob, err := json.Marshal(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded SessionWire
+		if err := json.Unmarshal(blob, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := decoded.Restore(bindTestSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed := snap.Session
+		if resumed.NextFrame() != donor.NextFrame() {
+			t.Fatalf("mode %v: resumed at frame %d, donor stopped at %d", mode, resumed.NextFrame(), donor.NextFrame())
+		}
+		for !resumed.Finished() {
+			gop, err := resumed.EncodeGOP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, gop.Digest)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("mode %v: wire round-trip digests %v, uninterrupted %v", mode, got, want)
+		}
+	}
+}
+
+// TestSessionWireThroughServerImport drives the full serving path: a
+// checkpoint taken from a live server crosses the wire and is imported
+// into a second server, which finishes the session with the digest chain
+// of an unmigrated run.
+func TestSessionWireThroughServerImport(t *testing.T) {
+	const frames = 16
+	control := newMigrationServer(t)
+	if _, err := control.Submit(speccedSource(t, medgen.Chest, medgen.Pan, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	controlOuts, err := control.ServeAll(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gopDigests(controlOuts, 0)
+
+	donor := newMigrationServer(t)
+	if _, err := donor.Submit(speccedSource(t, medgen.Chest, medgen.Pan, frames), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	for i := 0; i < 2; i++ {
+		out, err := donor.ServeGOP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out.GOPs[0].Digest)
+	}
+	wires, err := donor.CheckpointSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wires) != 1 {
+		t.Fatalf("%d checkpoints, want 1", len(wires))
+	}
+	blob, err := json.Marshal(wires[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded SessionWire
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := decoded.Restore(bindTestSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := newMigrationServer(t)
+	sess, err := target.Import(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target.Imported() != 1 {
+		t.Fatalf("target Imported() = %d", target.Imported())
+	}
+	targetOuts, err := target.ServeAll(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, gopDigests(targetOuts, sess.ID)...)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("imported-continuation digests %v, control %v", got, want)
+	}
+}
+
+// TestSessionWireDeterministic: the same session state encodes to the
+// same bytes — the property the golden files (internal/dist) and
+// content-addressed checkpoint dedup rely on.
+func TestSessionWireDeterministic(t *testing.T) {
+	build := func() []byte {
+		sess, err := NewSession(0, speccedSource(t, medgen.Bone, medgen.Sweep, 8), testSessionConfig(ModeProposed), workload.NewLUT())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.EncodeGOP(); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(wireSnapshotOf(t, sess))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatalf("identical states wired to different bytes (%d vs %d)", len(a), len(b))
+	}
+}
+
+// TestSessionWireRejectsUnknownVersion pins the versioning rule: decoders
+// refuse wire versions they do not know instead of guessing.
+func TestSessionWireRejectsUnknownVersion(t *testing.T) {
+	sess, err := NewSession(0, speccedSource(t, medgen.Brain, medgen.Still, 8), testSessionConfig(ModeProposed), workload.NewLUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wireSnapshotOf(t, sess)
+	w.Version = SessionWireVersion + 1
+	if _, err := w.Restore(bindTestSource); err == nil {
+		t.Fatal("accepted an unknown wire version")
+	}
+}
+
+// TestWireRequiresSpeccedSource: a session over an in-memory source that
+// cannot be respecified is an explicit error, never a silent partial
+// encoding — and CheckpointSessions skips it rather than failing the
+// checkpointable sessions around it.
+func TestWireRequiresSpeccedSource(t *testing.T) {
+	sess := newTestSession(t, ModeProposed) // plain, spec-less test source
+	snap := &SessionSnapshot{Session: sess, Class: sess.Class(), Frame: 0}
+	if _, err := snap.Wire(); err == nil {
+		t.Fatal("wired a session with an unrespecifiable source")
+	}
+	srv := newMigrationServer(t)
+	if _, err := srv.Submit(testSource(t, medgen.Brain, medgen.Rotate, 8), testSessionConfig(ModeProposed)); err != nil {
+		t.Fatal(err)
+	}
+	wires, err := srv.CheckpointSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wires) != 0 {
+		t.Fatalf("checkpointed %d spec-less sessions", len(wires))
+	}
+}
+
+// TestSessionSnapshotFieldsCovered is the schema tripwire: every exported
+// field of SessionSnapshot must be consciously handled by the wire format
+// (encoded, or excluded here by name with a reason). A field added
+// without updating the wire fails this test instead of silently not
+// surviving migration.
+func TestSessionSnapshotFieldsCovered(t *testing.T) {
+	handled := map[string]string{
+		"Session":    "re-built by Restore from Source/Config/Encoder state",
+		"Class":      "SessionWire.Class",
+		"DonorID":    "SessionWire.DonorID",
+		"Frame":      "SessionWire.Frame",
+		"QPOffset":   "SessionWire.QPOffset",
+		"Degraded":   "SessionWire.Degraded",
+		"RateHalved": "SessionWire.RateHalved",
+		"Demand":     "SessionWire.Demand",
+		"Rung":       "SessionWire.Rung",
+		"Waited":     "SessionWire.Waited",
+		"SkipRound":  "SessionWire.SkipRound",
+	}
+	typ := reflect.TypeOf(SessionSnapshot{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := handled[name]; !ok {
+			t.Errorf("SessionSnapshot.%s is not mapped into the wire format — extend SessionWire (and bump SessionWireVersion if incompatible), then record it here", name)
+		}
+	}
+	if typ.NumField() != len(handled) {
+		t.Errorf("wire coverage list has %d entries for %d snapshot fields — remove stale entries", len(handled), typ.NumField())
+	}
+
+	// SessionConfig travels wholesale: marshalling must not hit an
+	// unserializable field (a new func/chan field needs a json:"-" tag and
+	// a conscious decision, like TimeModel).
+	if _, err := json.Marshal(DefaultSessionConfig()); err != nil {
+		t.Fatalf("SessionConfig no longer marshals: %v", err)
+	}
+}

@@ -1,0 +1,495 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// AgentConfig configures one agent node.
+type AgentConfig struct {
+	// Name is the node's unique identity — the master's registry key and
+	// its consistent-hash ring member name, so it must be stable across
+	// restarts for routing to be stable.
+	Name string
+	// Addr is the HTTP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// AdvertiseURL is the base URL peers reach this agent at; empty
+	// derives "http://<bound addr>" from the listener.
+	AdvertiseURL string
+	// MasterURL is the master's base URL; empty runs the agent
+	// standalone (no heartbeats, still fully drivable over HTTP).
+	MasterURL string
+	// HeartbeatEvery paces the heartbeat loop. Default 1s.
+	HeartbeatEvery time.Duration
+	// CheckpointEvery is the wire-checkpoint cadence in settled rounds
+	// per shard (serve.WithCheckpoint). Every checkpoint refreshes the
+	// failover inventory the next heartbeat ships. Default 2.
+	CheckpointEvery int
+	// ExportTimeout bounds the round-boundary handshake of one export or
+	// drain step — an idle shard settles no round, so the wait must give
+	// up. Default 10s.
+	ExportTimeout time.Duration
+	// Client carries heartbeats to the master (nil = DefaultClient).
+	Client *Client
+	// Binder re-opens submitted and imported sources (nil = BindSource).
+	Binder core.SourceBinder
+	// Sink receives the fleet's telemetry (optional). The agent composes
+	// it with its own session counters, so pass the sink here rather
+	// than as a serve.WithSink option.
+	Sink serve.Sink
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Agent wraps one local serve.Fleet behind the HTTP front door and
+// keeps a master informed via heartbeats. Build with NewAgent, start
+// with Start, stop by cancelling the context (crash-equivalent) or
+// Close (graceful).
+type Agent struct {
+	cfg    AgentConfig
+	fleet  *serve.Fleet
+	client *Client
+	counts *counterSink
+
+	mu          sync.Mutex
+	checkpoints map[int][]*core.SessionWire // shard → latest wires
+	seq         atomic.Int64
+
+	ln      net.Listener
+	srv     *http.Server
+	started bool
+	done    chan struct{}
+	runErr  error
+}
+
+// counterSink tallies terminal session states — the lifetime counters
+// an agent reports in heartbeats.
+type counterSink struct {
+	serve.NopSink
+	mu                          sync.Mutex
+	completed, failed, rejected int
+}
+
+func (c *counterSink) OnSessionStateChange(e serve.SessionEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.State {
+	case core.StateCompleted:
+		c.completed++
+	case core.StateFailed:
+		c.failed++
+	case core.StateRejected:
+		c.rejected++
+	}
+}
+
+func (c *counterSink) totals() (completed, failed, rejected int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed, c.failed, c.rejected
+}
+
+// NewAgent builds an agent and its fleet. fleetOpts configure the
+// embedded serve.Fleet (shards, platforms, allocator, ...); the agent
+// adds its own checkpoint hook and telemetry counters on top, so do not
+// pass serve.WithCheckpoint or serve.WithSink here — use
+// AgentConfig.CheckpointEvery and AgentConfig.Sink.
+func NewAgent(cfg AgentConfig, fleetOpts ...serve.Option) (*Agent, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("dist: agent needs a name")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("dist: agent needs a listen address")
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 2
+	}
+	if cfg.ExportTimeout <= 0 {
+		cfg.ExportTimeout = 10 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = DefaultClient()
+	}
+	if cfg.Binder == nil {
+		cfg.Binder = BindSource
+	}
+	a := &Agent{
+		cfg:         cfg,
+		client:      cfg.Client,
+		counts:      &counterSink{},
+		checkpoints: make(map[int][]*core.SessionWire),
+		done:        make(chan struct{}),
+	}
+	sink := serve.Sink(a.counts)
+	if cfg.Sink != nil {
+		sink = serve.MultiSink(a.counts, cfg.Sink)
+	}
+	opts := append(append([]serve.Option(nil), fleetOpts...),
+		serve.WithSink(sink),
+		serve.WithCheckpoint(cfg.CheckpointEvery, a.storeCheckpoint),
+	)
+	fleet, err := serve.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	a.fleet = fleet
+	return a, nil
+}
+
+// Fleet exposes the embedded fleet (tests and embedders).
+func (a *Agent) Fleet() *serve.Fleet { return a.fleet }
+
+// storeCheckpoint is the serve.WithCheckpoint callback: swap the
+// shard's latest wire inventory into the cache the heartbeat loop
+// reads. Runs on the shard's serving goroutine — no blocking.
+func (a *Agent) storeCheckpoint(shard int, wires []*core.SessionWire) {
+	a.mu.Lock()
+	a.checkpoints[shard] = wires
+	a.mu.Unlock()
+}
+
+// URL is the base URL peers reach this agent at (valid after Start).
+func (a *Agent) URL() string {
+	if a.cfg.AdvertiseURL != "" {
+		return a.cfg.AdvertiseURL
+	}
+	if a.ln == nil {
+		return ""
+	}
+	return "http://" + a.ln.Addr().String()
+}
+
+// Start binds the listener and launches the serving loops: the fleet's
+// Run, the HTTP server, and (with a master configured) the heartbeat
+// loop. Cancelling ctx tears everything down mid-flight — the
+// crash-equivalent stop a failover test kills an agent with; Close is
+// the graceful path.
+func (a *Agent) Start(ctx context.Context) error {
+	if a.started {
+		return errors.New("dist: agent already started")
+	}
+	a.started = true
+	ln, err := net.Listen("tcp", a.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: agent listener: %w", err)
+	}
+	a.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", a.handleHealth)
+	mux.HandleFunc("GET /v1/loads", a.handleLoads)
+	mux.HandleFunc("POST /v1/submit", a.handleSubmit)
+	mux.HandleFunc("POST /v1/import", a.handleImport)
+	mux.HandleFunc("POST /v1/export", a.handleExport)
+	mux.HandleFunc("POST /v1/drain", a.handleDrain)
+	a.srv = &http.Server{Handler: mux}
+
+	go func() {
+		if err := a.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			a.logf("agent %s: http: %v", a.cfg.Name, err)
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		a.srv.Close()
+	}()
+	go func() {
+		defer close(a.done)
+		_, err := a.fleet.Run(ctx)
+		a.runErr = err
+	}()
+	if a.cfg.MasterURL != "" {
+		go a.heartbeatLoop(ctx)
+	}
+	a.logf("agent %s: serving on %s (master %q)", a.cfg.Name, a.URL(), a.cfg.MasterURL)
+	return nil
+}
+
+// Wait blocks until the fleet's serving loop ends (Close, or context
+// cancellation) and returns its error.
+func (a *Agent) Wait() error {
+	<-a.done
+	return a.runErr
+}
+
+// Close drains gracefully: the fleet stops accepting work and its Run
+// returns once live sessions finish, then the HTTP server stops.
+func (a *Agent) Close() {
+	a.fleet.Close()
+	<-a.done
+	if a.srv != nil {
+		a.srv.Close()
+	}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// heartbeat builds one heartbeat message from the agent's live state.
+func (a *Agent) heartbeat() Heartbeat {
+	a.mu.Lock()
+	var wires []*core.SessionWire
+	for _, shard := range sortedKeys(a.checkpoints) {
+		wires = append(wires, a.checkpoints[shard]...)
+	}
+	a.mu.Unlock()
+	completed, failed, rejected := a.counts.totals()
+	hb := Heartbeat{
+		Version:     ProtocolVersion,
+		Name:        a.cfg.Name,
+		URL:         a.URL(),
+		Seq:         a.seq.Add(1),
+		Loads:       a.fleet.Loads(),
+		Checkpoints: wires,
+		Completed:   completed,
+		Failed:      failed,
+		Rejected:    rejected,
+	}
+	var buf bytes.Buffer
+	if err := a.fleet.StoreSnapshot().Save(&buf); err == nil {
+		hb.LUTs = buf.Bytes()
+	}
+	return hb
+}
+
+func sortedKeys(m map[int][]*core.SessionWire) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; the map is tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func (a *Agent) heartbeatLoop(ctx context.Context) {
+	tick := time.NewTicker(a.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	url := a.cfg.MasterURL + "/v1/heartbeat"
+	for {
+		var resp HeartbeatResponse
+		if err := a.client.PostJSON(ctx, url, a.heartbeat(), &resp); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			a.logf("agent %s: heartbeat: %v", a.cfg.Name, err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Version: ProtocolVersion, Name: a.cfg.Name})
+}
+
+func (a *Agent) handleLoads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, LoadsResponse{Name: a.cfg.Name, Loads: a.fleet.Loads()})
+}
+
+func (a *Agent) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode submit: %v", err)
+		return
+	}
+	if req.Version != ProtocolVersion {
+		httpError(w, http.StatusBadRequest, "protocol version %d, want %d", req.Version, ProtocolVersion)
+		return
+	}
+	src, err := a.cfg.Binder(req.Source)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bind source: %v", err)
+		return
+	}
+	p, err := a.fleet.Submit(src, req.Config)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "submit: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Shard: p.Shard, Session: p.Session.ID})
+}
+
+func (a *Agent) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req ImportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode import: %v", err)
+		return
+	}
+	if req.Version != ProtocolVersion {
+		httpError(w, http.StatusBadRequest, "protocol version %d, want %d", req.Version, ProtocolVersion)
+		return
+	}
+	if req.Session == nil {
+		httpError(w, http.StatusBadRequest, "import without a session")
+		return
+	}
+	// Warm the LUTs first so the adopted session's very first round
+	// estimates with the donor's calibration.
+	if len(req.LUTs) > 0 {
+		st, err := workload.LoadStore(bytes.NewReader(req.LUTs))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "decode LUT store: %v", err)
+			return
+		}
+		a.fleet.MergeLUTs(st)
+	}
+	snap, err := req.Session.Restore(a.cfg.Binder)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "restore session: %v", err)
+		return
+	}
+	p, err := a.fleet.Import(snap)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "import: %v", err)
+		return
+	}
+	a.logf("agent %s: imported session %d (%s) at frame %d → shard %d session %d",
+		a.cfg.Name, req.Session.DonorID, req.Session.Class, req.Session.Frame, p.Shard, p.Session.ID)
+	writeJSON(w, http.StatusOK, ImportResponse{Shard: p.Shard, Session: p.Session.ID})
+}
+
+// exportOne destructively exports one session at the shard's next round
+// boundary. The handshake: schedule a callback on the serving
+// goroutine, wait for it with a timeout — an idle shard settles no
+// rounds, so the callback may never fire.
+func (a *Agent) exportOne(ctx context.Context, shard, session int) (*core.SessionWire, error) {
+	type result struct {
+		wire *core.SessionWire
+		err  error
+	}
+	ch := make(chan result, 1)
+	err := a.fleet.OnNextRound(shard, func(sh core.Shard) {
+		snap, err := sh.ExportSession(session)
+		if err != nil {
+			ch <- result{nil, err}
+			return
+		}
+		w, err := snap.Wire()
+		if err != nil {
+			// The session is already off the shard's queue; dead-letter
+			// it rather than leave it in limbo (failing an exported
+			// record is safe from any goroutine).
+			_ = sh.FailSession(session, err)
+			ch <- result{nil, err}
+			return
+		}
+		ch <- result{w, nil}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.wire, res.err
+	case <-time.After(a.cfg.ExportTimeout):
+		return nil, fmt.Errorf("dist: export of shard %d session %d timed out (shard idle?)", shard, session)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Agent) handleExport(w http.ResponseWriter, r *http.Request) {
+	var req ExportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode export: %v", err)
+		return
+	}
+	wire, err := a.exportOne(r.Context(), req.Shard, req.Session)
+	if err != nil {
+		httpError(w, http.StatusConflict, "export: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExportResponse{Session: wire})
+}
+
+// handleDrain destructively exports every live session, shard by shard,
+// and returns their wire states — the graceful hand-back before an
+// agent retires. Sessions keep serving until their shard's next round
+// boundary; busy shards are drained at that boundary, idle ones have
+// nothing to drain.
+func (a *Agent) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var out []*core.SessionWire
+	for shard, load := range a.fleet.Loads() {
+		if !load.Alive || load.Sessions == 0 {
+			continue
+		}
+		wires, err := a.drainShard(r.Context(), shard)
+		if err != nil {
+			httpError(w, http.StatusConflict, "drain shard %d: %v", shard, err)
+			return
+		}
+		out = append(out, wires...)
+	}
+	writeJSON(w, http.StatusOK, DrainResponse{Sessions: out})
+}
+
+// drainShard checkpoints then destructively exports every session of
+// one shard at its next round boundary.
+func (a *Agent) drainShard(ctx context.Context, shard int) ([]*core.SessionWire, error) {
+	type result struct {
+		wires []*core.SessionWire
+		err   error
+	}
+	ch := make(chan result, 1)
+	err := a.fleet.OnNextRound(shard, func(sh core.Shard) {
+		wires, err := sh.CheckpointSessions()
+		if err != nil {
+			ch <- result{nil, err}
+			return
+		}
+		for _, wire := range wires {
+			if _, err := sh.ExportSession(wire.DonorID); err != nil {
+				ch <- result{nil, err}
+				return
+			}
+		}
+		ch <- result{wires, nil}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.wires, res.err
+	case <-time.After(a.cfg.ExportTimeout):
+		return nil, fmt.Errorf("dist: drain of shard %d timed out (shard idle?)", shard)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/medgen"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSessionWire builds a fully deterministic mid-stream session
+// checkpoint: fixed generator config, one GOP encoded, wired at the
+// boundary with every ladder field populated.
+func goldenSessionWire(t *testing.T) *core.SessionWire {
+	t.Helper()
+	mc := medgen.Default()
+	mc.Width, mc.Height = 192, 144
+	mc.Frames = 8
+	mc.Seed = 7
+	mc.Class = medgen.Brain
+	mc.Motion = medgen.Rotate
+	src, err := NewMedgenSource(mc, "brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := core.DefaultSessionConfig()
+	scfg.Codec.GOPSize = 4
+	scfg.Codec.IntraPeriod = 8
+	scfg.Retile.MinTileW, scfg.Retile.MinTileH = 48, 48
+	sess, err := core.NewSession(3, src, scfg, workload.NewLUT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.EncodeGOP(); err != nil {
+		t.Fatal(err)
+	}
+	snap := &core.SessionSnapshot{
+		Session:    sess,
+		Class:      sess.Class(),
+		DonorID:    3,
+		Frame:      sess.NextFrame(),
+		QPOffset:   sess.QPOffset(),
+		Degraded:   sess.Degraded(),
+		RateHalved: sess.RateHalved(),
+		Demand:     2,
+		Rung:       1,
+		Waited:     1,
+		SkipRound:  false,
+	}
+	wire, err := snap.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// checkGolden compares got against the named golden file (-update
+// rewrites it).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from its golden file (%d bytes, want %d).\n"+
+			"A changed wire encoding breaks cross-version migration: if the change is intentional, "+
+			"bump the wire version where required and regenerate with -update.", name, len(got), len(want))
+	}
+}
+
+// TestSessionWireGolden pins the session wire format byte-for-byte: the
+// encoding is deterministic, the golden file decodes back into state
+// that re-encodes to the same bytes, and any field added to SessionWire
+// (or a type it embeds) without a conscious wire decision shows up as a
+// golden drift.
+func TestSessionWireGolden(t *testing.T) {
+	wire := goldenSessionWire(t)
+	got, err := json.MarshalIndent(wire, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	checkGolden(t, "session_wire_v1.json", got)
+
+	// Byte-determinism: a second independent build encodes identically.
+	again, err := json.MarshalIndent(goldenSessionWire(t), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(again, '\n')) {
+		t.Fatal("session wire encoding is not deterministic")
+	}
+
+	// Decode-equality: the golden bytes restore (through the production
+	// binder) and re-wire to the same bytes.
+	var decoded core.SessionWire
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := decoded.Restore(BindSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rewired, err := snap.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := json.MarshalIndent(rewired, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(back, '\n')) {
+		t.Fatal("restore → re-wire did not reproduce the golden bytes")
+	}
+}
+
+// TestSessionWireVersionPinned: bumping the wire version is a conscious
+// act that must come with a fresh golden file.
+func TestSessionWireVersionPinned(t *testing.T) {
+	if core.SessionWireVersion != 1 {
+		t.Fatalf("SessionWireVersion = %d: add a session_wire_v%d.json golden and update this pin",
+			core.SessionWireVersion, core.SessionWireVersion)
+	}
+}

@@ -1,0 +1,500 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// Event is one line of the master's operational journal, delivered to
+// MasterConfig.OnEvent (and serialized to JSONL by cmd/transcode).
+type Event struct {
+	// Kind: "agent_joined", "agent_rejoined", "agent_dead",
+	// "submit_routed", "session_reimported", "session_lost".
+	Event string `json:"event"`
+	// Agent is the subject node (the donor on failover events).
+	Agent string `json:"agent,omitempty"`
+	// To is the receiving node of a routed or re-imported session.
+	To      string `json:"to,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Session int    `json:"session,omitempty"`
+	Frame   int    `json:"frame,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// MasterConfig configures the routing/supervision node.
+type MasterConfig struct {
+	// Addr is the HTTP listen address.
+	Addr string
+	// HeartbeatTimeout is how long an agent may stay silent before it is
+	// declared dead and failed over. Default 5s.
+	HeartbeatTimeout time.Duration
+	// CheckEvery paces the supervision loop. Default HeartbeatTimeout/4.
+	CheckEvery time.Duration
+	// Client carries every master→agent call (nil = DefaultClient). All
+	// routing and failover traffic goes through its retry schedule.
+	Client *Client
+	// OnEvent receives the operational journal (optional). Called from
+	// master goroutines, serialized by an internal lock.
+	OnEvent func(Event)
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// agentState is one registry row.
+type agentState struct {
+	name        string
+	url         string
+	seq         int64
+	lastBeat    time.Time
+	dead        bool
+	loads       []core.LoadReport
+	checkpoints []*core.SessionWire
+	luts        json.RawMessage
+	completed   int
+	failed      int
+	rejected    int
+}
+
+// util is the node-wide demand-normalized utilization — the same load
+// signal the in-process dispatcher routes by, summed over the agent's
+// shards.
+func (a *agentState) util() float64 {
+	demand, capacity := 0, 0
+	for _, r := range a.loads {
+		if !r.Alive {
+			continue
+		}
+		demand += r.DemandCores
+		capacity += r.CapacityCores
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(demand) / float64(capacity)
+}
+
+// Master is the fleet's cross-process dispatcher and supervisor: agents
+// register through heartbeats, submissions route over the consistent
+// hash of the workload class across agent names (least-loaded fallback),
+// and a dead agent's checkpointed sessions are re-imported into the
+// survivors.
+type Master struct {
+	cfg    MasterConfig
+	client *Client
+
+	mu         sync.Mutex
+	agents     map[string]*agentState
+	ring       *serve.Ring
+	reimported int
+	lost       int
+
+	eventMu sync.Mutex
+
+	ln      net.Listener
+	srv     *http.Server
+	started bool
+	done    chan struct{}
+}
+
+// NewMaster builds a master.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("dist: master needs a listen address")
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 5 * time.Second
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = cfg.HeartbeatTimeout / 4
+	}
+	if cfg.Client == nil {
+		cfg.Client = DefaultClient()
+	}
+	return &Master{
+		cfg:    cfg,
+		client: cfg.Client,
+		agents: make(map[string]*agentState),
+		ring:   serve.NewRing(nil, serve.RingReplicas),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// URL is the master's base URL (valid after Start).
+func (m *Master) URL() string {
+	if m.ln == nil {
+		return ""
+	}
+	return "http://" + m.ln.Addr().String()
+}
+
+// Start binds the listener and launches the HTTP server and the
+// supervision loop; both stop when ctx is cancelled.
+func (m *Master) Start(ctx context.Context) error {
+	if m.started {
+		return errors.New("dist: master already started")
+	}
+	m.started = true
+	ln, err := net.Listen("tcp", m.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("dist: master listener: %w", err)
+	}
+	m.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", m.handleHealth)
+	mux.HandleFunc("POST /v1/heartbeat", m.handleHeartbeat)
+	mux.HandleFunc("POST /v1/submit", m.handleSubmit)
+	mux.HandleFunc("GET /v1/agents", m.handleAgents)
+	mux.HandleFunc("GET /v1/stats", m.handleStats)
+	m.srv = &http.Server{Handler: mux}
+	go func() {
+		if err := m.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			m.logf("master: http: %v", err)
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		m.srv.Close()
+	}()
+	go m.superviseLoop(ctx)
+	m.logf("master: serving on %s", m.URL())
+	return nil
+}
+
+// Close stops the HTTP server and the supervision loop.
+func (m *Master) Close() {
+	if m.srv != nil {
+		m.srv.Close()
+	}
+	select {
+	case <-m.done:
+	default:
+		close(m.done)
+	}
+}
+
+func (m *Master) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+func (m *Master) emit(e Event) {
+	if m.cfg.OnEvent == nil {
+		return
+	}
+	m.eventMu.Lock()
+	defer m.eventMu.Unlock()
+	m.cfg.OnEvent(e)
+}
+
+// rebuildRingLocked rebuilds the routing ring over the live agent
+// names. Caller holds m.mu.
+func (m *Master) rebuildRingLocked() {
+	var names []string
+	for name, a := range m.agents {
+		if !a.dead {
+			names = append(names, name)
+		}
+	}
+	m.ring = serve.NewRing(names, serve.RingReplicas)
+}
+
+// candidate is an immutable routing target — name and URL copied out of
+// the registry under the lock, so callers can dial without racing the
+// heartbeat writes that keep agentState fresh.
+type candidate struct {
+	name string
+	url  string
+}
+
+// candidatesFor orders the live agents for a class: its consistent-hash
+// home first — registration order must not matter, only the name-keyed
+// ring — then the rest by ascending utilization, name-tiebroken.
+func (m *Master) candidatesFor(class string) []candidate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	home := m.ring.MemberFor(class)
+	type scored struct {
+		candidate
+		util float64
+	}
+	var rest []scored
+	var first *candidate
+	for name, a := range m.agents {
+		if a.dead {
+			continue
+		}
+		c := candidate{name: a.name, url: a.url}
+		if name == home {
+			first = &c
+			continue
+		}
+		rest = append(rest, scored{candidate: c, util: a.util()})
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].util != rest[j].util {
+			return rest[i].util < rest[j].util
+		}
+		return rest[i].name < rest[j].name
+	})
+	out := make([]candidate, 0, len(rest)+1)
+	if first != nil {
+		out = append(out, *first)
+	}
+	for _, s := range rest {
+		out = append(out, s.candidate)
+	}
+	return out
+}
+
+// --- supervision & failover ---
+
+func (m *Master) superviseLoop(ctx context.Context) {
+	tick := time.NewTicker(m.cfg.CheckEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-m.done:
+			return
+		case <-tick.C:
+			m.checkOnce(ctx, time.Now())
+		}
+	}
+}
+
+// deadSnapshot is everything failover needs from a declared-dead agent,
+// copied out of the registry under the lock: a rejoin heartbeat racing
+// the failover must not mutate what is being re-imported.
+type deadSnapshot struct {
+	name        string
+	checkpoints []*core.SessionWire
+	luts        json.RawMessage
+}
+
+// checkOnce sweeps the registry for agents past the heartbeat deadline
+// and fails over their cached sessions.
+func (m *Master) checkOnce(ctx context.Context, now time.Time) {
+	m.mu.Lock()
+	var died []deadSnapshot
+	for _, a := range m.agents {
+		if !a.dead && now.Sub(a.lastBeat) > m.cfg.HeartbeatTimeout {
+			a.dead = true
+			died = append(died, deadSnapshot{name: a.name, checkpoints: a.checkpoints, luts: a.luts})
+		}
+	}
+	if len(died) > 0 {
+		m.rebuildRingLocked()
+	}
+	m.mu.Unlock()
+	for _, d := range died {
+		m.logf("master: agent %s missed its heartbeat deadline (%d checkpointed sessions to fail over)",
+			d.name, len(d.checkpoints))
+		m.emit(Event{Event: "agent_dead", Agent: d.name, Detail: fmt.Sprintf("%d sessions to re-import", len(d.checkpoints))})
+		m.failover(ctx, d)
+	}
+}
+
+// failover re-imports a dead agent's checkpointed sessions into the
+// survivors: each session goes to its class's ring home (least-loaded
+// fallback, next candidate on error), resuming from its last exported
+// GOP-boundary snapshot. The donor's LUT store rides along on the first
+// import each survivor receives, so estimation stays warm without
+// re-shipping the store per session. A session no live agent accepts is
+// lost — counted and journaled, never silently dropped.
+func (m *Master) failover(ctx context.Context, dead deadSnapshot) {
+	shipped := make(map[string]bool)
+	for _, wire := range dead.checkpoints {
+		placed := false
+		for _, target := range m.candidatesFor(wire.Class) {
+			req := ImportRequest{Version: ProtocolVersion, Session: wire}
+			if !shipped[target.name] {
+				req.LUTs = dead.luts
+			}
+			var resp ImportResponse
+			if err := m.client.PostJSON(ctx, target.url+"/v1/import", req, &resp); err != nil {
+				m.logf("master: re-import of session %d (%s) into %s: %v",
+					wire.DonorID, wire.Class, target.name, err)
+				continue
+			}
+			shipped[target.name] = true
+			m.mu.Lock()
+			m.reimported++
+			m.mu.Unlock()
+			m.emit(Event{
+				Event: "session_reimported", Agent: dead.name, To: target.name,
+				Class: wire.Class, Session: wire.DonorID, Frame: wire.Frame,
+			})
+			m.logf("master: session %d (%s) re-imported %s → %s at frame %d",
+				wire.DonorID, wire.Class, dead.name, target.name, wire.Frame)
+			placed = true
+			break
+		}
+		if !placed {
+			m.mu.Lock()
+			m.lost++
+			m.mu.Unlock()
+			m.emit(Event{
+				Event: "session_lost", Agent: dead.name,
+				Class: wire.Class, Session: wire.DonorID, Frame: wire.Frame,
+			})
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+func (m *Master) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Version: ProtocolVersion, Name: "master"})
+}
+
+func (m *Master) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		httpError(w, http.StatusBadRequest, "decode heartbeat: %v", err)
+		return
+	}
+	if hb.Version != ProtocolVersion {
+		httpError(w, http.StatusBadRequest, "protocol version %d, want %d", hb.Version, ProtocolVersion)
+		return
+	}
+	if hb.Name == "" || hb.URL == "" {
+		httpError(w, http.StatusBadRequest, "heartbeat without name/url")
+		return
+	}
+	var joined, rejoined bool
+	m.mu.Lock()
+	a, ok := m.agents[hb.Name]
+	if !ok {
+		a = &agentState{name: hb.Name}
+		m.agents[hb.Name] = a
+		joined = true
+	}
+	if hb.Seq < a.seq {
+		// Stale delivery (retries can reorder) — acknowledge, change nothing.
+		m.mu.Unlock()
+		writeJSON(w, http.StatusOK, HeartbeatResponse{OK: true})
+		return
+	}
+	if a.dead {
+		// A declared-dead agent beating again rejoins the ring. Its
+		// sessions were already re-imported elsewhere; the duplicates
+		// serve to completion on both nodes (idempotent outputs), which
+		// supervision accepts rather than trying to kill remotely.
+		a.dead = false
+		rejoined = true
+	}
+	a.url = hb.URL
+	a.seq = hb.Seq
+	a.lastBeat = time.Now()
+	a.loads = hb.Loads
+	a.checkpoints = hb.Checkpoints
+	if len(hb.LUTs) > 0 {
+		a.luts = hb.LUTs
+	}
+	a.completed, a.failed, a.rejected = hb.Completed, hb.Failed, hb.Rejected
+	if joined || rejoined {
+		m.rebuildRingLocked()
+	}
+	m.mu.Unlock()
+	if joined {
+		m.logf("master: agent %s joined from %s", hb.Name, hb.URL)
+		m.emit(Event{Event: "agent_joined", Agent: hb.Name, Detail: hb.URL})
+	} else if rejoined {
+		m.logf("master: agent %s rejoined from %s", hb.Name, hb.URL)
+		m.emit(Event{Event: "agent_rejoined", Agent: hb.Name, Detail: hb.URL})
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{OK: true})
+}
+
+func (m *Master) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode submit: %v", err)
+		return
+	}
+	if req.Version != ProtocolVersion {
+		httpError(w, http.StatusBadRequest, "protocol version %d, want %d", req.Version, ProtocolVersion)
+		return
+	}
+	var lastErr error
+	for _, target := range m.candidatesFor(req.Source.Class) {
+		var resp SubmitResponse
+		if err := m.client.PostJSON(r.Context(), target.url+"/v1/submit", req, &resp); err != nil {
+			lastErr = err
+			continue
+		}
+		m.emit(Event{Event: "submit_routed", To: target.name, Class: req.Source.Class, Session: resp.Session})
+		writeJSON(w, http.StatusOK, RoutedSubmitResponse{Agent: target.name, Shard: resp.Shard, Session: resp.Session})
+		return
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no live agents")
+	}
+	httpError(w, http.StatusServiceUnavailable, "route submit: %v", lastErr)
+}
+
+func (m *Master) handleAgents(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	var out AgentsResponse
+	for _, name := range m.sortedNamesLocked() {
+		a := m.agents[name]
+		row := AgentStatus{
+			Name: a.name, URL: a.url, Alive: !a.dead, Seq: a.seq,
+			Loads:     a.loads,
+			Completed: a.completed, Failed: a.failed, Rejected: a.rejected,
+		}
+		for _, wire := range a.checkpoints {
+			row.Checkpoints = append(row.Checkpoints, CheckpointInfo{
+				Class: wire.Class, Session: wire.DonorID, Frame: wire.Frame,
+			})
+		}
+		out.Agents = append(out.Agents, row)
+	}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (m *Master) sortedNamesLocked() []string {
+	names := make([]string, 0, len(m.agents))
+	for name := range m.agents {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// handleStats aggregates the fleet's session counters: live agents
+// report theirs in heartbeats; dead agents' last-reported counters stay
+// in the sum (their completed work happened). Sessions that completed
+// on a victim after its last heartbeat re-run on a survivor from their
+// last checkpoint, so Completed can exceed the submission count by the
+// duplicates — never undercount.
+func (m *Master) handleStats(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	var out StatsResponse
+	out.Reimported = m.reimported
+	out.Lost = m.lost
+	for _, a := range m.agents {
+		out.Agents++
+		if !a.dead {
+			out.Live++
+		}
+		out.Completed += a.completed
+		out.Failed += a.failed
+		out.Rejected += a.rejected
+	}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}

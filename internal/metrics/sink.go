@@ -25,6 +25,45 @@ type SinkConfig struct {
 	// per-(shard, class) qoe_score gauge, clamped to (0, 1]. 0 selects
 	// the default 0.25.
 	QoEAlpha float64
+	// Agent, when non-empty, adds a constant "agent" label with this
+	// value to every series the sink exports — the distributed mode's
+	// per-node dimension, so one scraper can aggregate a whole fleet of
+	// agent processes without their shard-indexed series colliding.
+	Agent string
+}
+
+// counter, gauge and histogram prepend the sink's constant agent label
+// (when configured) to every update, so the event handlers below stay
+// label-agnostic.
+type counter struct {
+	m     Counter
+	agent []string
+}
+
+func (c counter) Add(v float64, lv ...string) { c.m.Add(v, withAgent(c.agent, lv)...) }
+func (c counter) Set(v float64, lv ...string) { c.m.Set(v, withAgent(c.agent, lv)...) }
+
+type gauge struct {
+	m     Gauge
+	agent []string
+}
+
+func (g gauge) Set(v float64, lv ...string) { g.m.Set(v, withAgent(g.agent, lv)...) }
+
+type histogram struct {
+	m     Histogram
+	agent []string
+}
+
+func (h histogram) Observe(v float64, lv ...string) { h.m.Observe(v, withAgent(h.agent, lv)...) }
+
+func withAgent(agent, lv []string) []string {
+	if len(agent) == 0 {
+		return lv
+	}
+	out := make([]string, 0, len(agent)+len(lv))
+	out = append(out, agent...)
+	return append(out, lv...)
 }
 
 // Sink implements serve.Sink, translating the fleet's event stream into
@@ -48,6 +87,7 @@ type Sink struct {
 	cost     CostModel
 	alpha    float64
 	maxClass int
+	agent    []string // nil, or the one constant "agent" label value
 
 	// classOf maps (shard, session) → folded class label; classes is the
 	// bounded set of label values handed out so far. doomed marks
@@ -64,33 +104,33 @@ type Sink struct {
 	// per-class attribution distributes exact per-round deltas.
 	prevCost map[int]float64
 
-	rounds        Counter
-	gops          Counter
-	frames        Counter
-	placements    Counter
-	migrations    Counter
-	rebalances    Counter
-	shardsAdded   Counter
-	shardsRemoved Counter
-	states        Counter
-	energy        Counter
-	misses        Counter
-	costDollars   Counter
-	classCost     Counter
+	rounds        counter
+	gops          counter
+	frames        counter
+	placements    counter
+	migrations    counter
+	rebalances    counter
+	shardsAdded   counter
+	shardsRemoved counter
+	states        counter
+	energy        counter
+	misses        counter
+	costDollars   counter
+	classCost     counter
 
-	sessions  Gauge
-	demand    Gauge
-	capacity  Gauge
-	util      Gauge
-	coresUsed Gauge
-	avgPower  Gauge
-	peakPower Gauge
-	ladder    Gauge
-	liveNow   Gauge
-	qoeGauge  Gauge
+	sessions  gauge
+	demand    gauge
+	capacity  gauge
+	util      gauge
+	coresUsed gauge
+	avgPower  gauge
+	peakPower gauge
+	ladder    gauge
+	liveNow   gauge
+	qoeGauge  gauge
 
-	estErr Histogram
-	psnr   Histogram
+	estErr histogram
+	psnr   histogram
 }
 
 // NewSink builds the exporter sink and registers its metric families.
@@ -116,38 +156,62 @@ func NewSink(cfg SinkConfig) *Sink {
 		qoe:      make(map[[2]string]float64),
 		prevCost: make(map[int]float64),
 	}
-	s.rounds = reg.Counter("repro_rounds_total", "Settled serving rounds per shard.", "shard")
-	s.gops = reg.Counter("repro_gops_total", "GOPs served, by shard and workload class.", "shard", "class")
-	s.frames = reg.Counter("repro_frames_total", "Frames encoded, by shard and workload class.", "shard", "class")
-	s.placements = reg.Counter("repro_placements_total", "Session placements routed to each shard.", "shard")
-	s.migrations = reg.Counter("repro_migrations_total", "Session migration hops from resize drains.")
-	s.rebalances = reg.Counter("repro_rebalances_total", "Session hops shed by hot-shard rebalancing.")
-	s.shardsAdded = reg.Counter("repro_shards_added_total", "Shards added by resizes.")
-	s.shardsRemoved = reg.Counter("repro_shards_removed_total", "Shards removed by resizes.")
-	s.states = reg.Counter("repro_session_states_total", "Session lifecycle transitions, by shard and state.", "shard", "state")
-	s.energy = reg.Counter("repro_energy_joules_total", "Cumulative platform energy per shard (exact mpsoc ledger).", "shard")
-	s.misses = reg.Counter("repro_deadline_misses_total", "Cumulative frame-deadline misses per shard (exact mpsoc ledger).", "shard")
-	s.costDollars = reg.Counter("repro_cost_dollars_total", "Cumulative operating cost per shard under the cost model.", "shard")
-	s.classCost = reg.Counter("repro_class_cost_dollars_total", "Operating cost attributed to workload classes by encode-time share.", "class")
+	if cfg.Agent != "" {
+		s.agent = []string{cfg.Agent}
+	}
+	// lbl prefixes the constant "agent" label name when configured; the
+	// wrappers prefix its value on every update.
+	lbl := func(names ...string) []string { return withAgent(agentLabelName(s.agent), names) }
+	ctr := func(name, help string, labels ...string) counter {
+		return counter{reg.Counter(name, help, lbl(labels...)...), s.agent}
+	}
+	gge := func(name, help string, labels ...string) gauge {
+		return gauge{reg.Gauge(name, help, lbl(labels...)...), s.agent}
+	}
+	hst := func(name, help string, buckets []float64, labels ...string) histogram {
+		return histogram{reg.Histogram(name, help, buckets, lbl(labels...)...), s.agent}
+	}
+	s.rounds = ctr("repro_rounds_total", "Settled serving rounds per shard.", "shard")
+	s.gops = ctr("repro_gops_total", "GOPs served, by shard and workload class.", "shard", "class")
+	s.frames = ctr("repro_frames_total", "Frames encoded, by shard and workload class.", "shard", "class")
+	s.placements = ctr("repro_placements_total", "Session placements routed to each shard.", "shard")
+	s.migrations = ctr("repro_migrations_total", "Session migration hops from resize drains.")
+	s.rebalances = ctr("repro_rebalances_total", "Session hops shed by hot-shard rebalancing.")
+	s.shardsAdded = ctr("repro_shards_added_total", "Shards added by resizes.")
+	s.shardsRemoved = ctr("repro_shards_removed_total", "Shards removed by resizes.")
+	s.states = ctr("repro_session_states_total", "Session lifecycle transitions, by shard and state.", "shard", "state")
+	s.energy = ctr("repro_energy_joules_total", "Cumulative platform energy per shard (exact mpsoc ledger).", "shard")
+	s.misses = ctr("repro_deadline_misses_total", "Cumulative frame-deadline misses per shard (exact mpsoc ledger).", "shard")
+	s.costDollars = ctr("repro_cost_dollars_total", "Cumulative operating cost per shard under the cost model.", "shard")
+	s.classCost = ctr("repro_class_cost_dollars_total", "Operating cost attributed to workload classes by encode-time share.", "class")
 
-	s.sessions = reg.Gauge("repro_sessions", "Live sessions per shard.", "shard")
-	s.demand = reg.Gauge("repro_demand_cores", "Summed core demand of live sessions per shard.", "shard")
-	s.capacity = reg.Gauge("repro_capacity_cores", "Platform core capacity per shard.", "shard")
-	s.util = reg.Gauge("repro_utilization", "Demand over capacity per shard.", "shard")
-	s.coresUsed = reg.Gauge("repro_cores_used", "Cores the last settled round's allocation used.", "shard")
-	s.avgPower = reg.Gauge("repro_avg_power_watts", "Lifetime average platform power per shard.", "shard")
-	s.peakPower = reg.Gauge("repro_peak_power_watts", "Highest per-slot average power seen per shard.", "shard")
-	s.ladder = reg.Gauge("repro_ladder_sessions", "Live sessions per admission-ladder rung, as of each shard's last round.", "shard", "rung")
-	s.liveNow = reg.Gauge("repro_live_shards", "Routable shards after the last membership change.")
-	s.qoeGauge = reg.Gauge("repro_qoe_score", "EWMA QoE score per shard and class (1 = transparent full-rate service).", "shard", "class")
+	s.sessions = gge("repro_sessions", "Live sessions per shard.", "shard")
+	s.demand = gge("repro_demand_cores", "Summed core demand of live sessions per shard.", "shard")
+	s.capacity = gge("repro_capacity_cores", "Platform core capacity per shard.", "shard")
+	s.util = gge("repro_utilization", "Demand over capacity per shard.", "shard")
+	s.coresUsed = gge("repro_cores_used", "Cores the last settled round's allocation used.", "shard")
+	s.avgPower = gge("repro_avg_power_watts", "Lifetime average platform power per shard.", "shard")
+	s.peakPower = gge("repro_peak_power_watts", "Highest per-slot average power seen per shard.", "shard")
+	s.ladder = gge("repro_ladder_sessions", "Live sessions per admission-ladder rung, as of each shard's last round.", "shard", "rung")
+	s.liveNow = gge("repro_live_shards", "Routable shards after the last membership change.")
+	s.qoeGauge = gge("repro_qoe_score", "EWMA QoE score per shard and class (1 = transparent full-rate service).", "shard", "class")
 
-	s.estErr = reg.Histogram("repro_estimate_error",
+	s.estErr = hst("repro_estimate_error",
 		"Per-round mean relative stage-D1 estimation error.",
 		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2}, "shard")
-	s.psnr = reg.Histogram("repro_gop_psnr_db",
+	s.psnr = hst("repro_gop_psnr_db",
 		"Mean GOP PSNR by shard and workload class.",
 		[]float64{25, 30, 32, 34, 36, 38, 40, 42, 45}, "shard", "class")
 	return s
+}
+
+// agentLabelName returns the label-NAME prefix matching an agent
+// label-value prefix: ["agent"] when one is configured, nil otherwise.
+func agentLabelName(agent []string) []string {
+	if len(agent) == 0 {
+		return nil
+	}
+	return []string{"agent"}
 }
 
 // Registry exposes the sink's registry (for composing extra metrics or

@@ -348,3 +348,46 @@ func scrape(t *testing.T, url string) string {
 	}
 	return string(b)
 }
+
+// TestExporterAgentLabel: a sink configured with an agent identity
+// stamps the constant "agent" label onto every series it exports, so a
+// fleet of agent processes can share one scraper without collisions.
+func TestExporterAgentLabel(t *testing.T) {
+	sink := NewSink(SinkConfig{Agent: "agent-7"})
+	fleet, err := serve.New(
+		serve.WithShards(1),
+		serve.WithMetrics(sink),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Submit(testSource(t, "brain", 1, 8), testSessionConfig()); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Close()
+	if _, err := fleet.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := sink.Registry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+	labeled := 0
+	for _, s := range samples {
+		if s.name == "repro_metrics_dropped_series_total" {
+			continue // the registry's own meta-series, not the sink's
+		}
+		if s.labels["agent"] != "agent-7" {
+			t.Fatalf("series %s%v missing agent label", s.name, s.labels)
+		}
+		labeled++
+	}
+	if labeled == 0 {
+		t.Fatal("no sink series exported")
+	}
+	if got := find(t, samples, "repro_rounds_total", map[string]string{"agent": "agent-7", "shard": "0"}); got < 1 {
+		t.Fatalf("repro_rounds_total = %v, want >= 1", got)
+	}
+}

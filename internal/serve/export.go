@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// The fleet's cross-process surface: what internal/dist needs to run a
+// Fleet behind a network agent. Three additions to the in-process API —
+// periodic non-destructive checkpoints of every session's wire state
+// (WithCheckpoint), adoption of sessions restored from a remote peer's
+// wire snapshot (Import), and round-boundary scheduling on a shard's
+// serving goroutine (OnNextRound), the safe point for the destructive
+// export handshake a drain needs.
+
+// WithCheckpoint wires every session's crash-recovery state (a
+// core.SessionWire per checkpointable session — see
+// core.Server.CheckpointSessions) out of each shard every `every` settled
+// rounds. The callback runs on the shard's serving goroutine between
+// rounds: it must not block (ship the wires to a channel or swap them
+// into a cache) and must not call serving methods. It receives an empty
+// slice when nothing is checkpointable — completed sessions drop out of
+// the caller's cache that way instead of being resurrected on failover.
+func WithCheckpoint(every int, fn func(shard int, wires []*core.SessionWire)) Option {
+	return func(o *options) {
+		if every <= 0 {
+			o.errs = append(o.errs, fmt.Errorf("serve: checkpoint interval %d rounds", every))
+			return
+		}
+		if fn == nil {
+			o.errs = append(o.errs, errors.New("serve: nil checkpoint callback"))
+			return
+		}
+		o.checkpointEvery = every
+		o.checkpoint = fn
+	}
+}
+
+// Import adopts a session snapshot restored from another process
+// (core.SessionWire.Restore) into this fleet: routed like finishDrain
+// routes a drained shard's sessions — class home first, then the load
+// fallback — with the landing shard's supervisor revived if its serving
+// loop had already wound down. The migration event carries FromShard -1:
+// the donor is not a shard of this fleet, and the JSONL sink's
+// "session_migrated" with from_shard -1 is exactly how a cross-process
+// re-import is distinguished from an in-fleet move. Safe from any
+// goroutine, like Submit.
+func (f *Fleet) Import(snap *core.SessionSnapshot) (Placement, error) {
+	if snap == nil || snap.Session == nil {
+		return Placement{}, errors.New("serve: import of nil snapshot")
+	}
+	var lastErr error
+	for _, ti := range f.routeOrder(f.HomeShard(snap.Class)) {
+		sess, err := f.shardAt(ti).srv.Import(snap)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f.dispatchMigration(MigrationEvent{
+			FromShard:   -1,
+			FromSession: snap.DonorID,
+			ToShard:     ti,
+			ToSession:   sess.ID,
+			Class:       snap.Class,
+			Frame:       snap.Frame,
+		})
+		f.mu.Lock()
+		t := f.shards[ti]
+		if f.running && t.routable() && !t.supervising {
+			f.startSupervisorLocked(f.runCtx, t)
+		}
+		f.mu.Unlock()
+		return Placement{Shard: ti, Session: sess}, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("serve: no live shard")
+	}
+	return Placement{}, fmt.Errorf("serve: import: %w", lastErr)
+}
+
+// OnNextRound schedules fn to run on shard's serving goroutine at its
+// next round boundary — between rounds, where every session sits at a GOP
+// boundary and ExportSession/CheckpointSessions are legal while the Run
+// is live. fn receives the shard handle; it must not block and must not
+// call fleet methods that take the fleet lock. The callback fires at most
+// once; it never fires if the shard serves no further round (an idle
+// shard settles no rounds), so callers waiting on a reply channel must
+// time out. Fails for a shard that is not routable.
+func (f *Fleet) OnNextRound(shard int, fn func(core.Shard)) error {
+	if fn == nil {
+		return errors.New("serve: nil round callback")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if shard < 0 || shard >= len(f.shards) {
+		return fmt.Errorf("serve: no shard %d", shard)
+	}
+	s := f.shards[shard]
+	if !s.routable() {
+		return fmt.Errorf("serve: shard %d is not serving", shard)
+	}
+	s.pending = append(s.pending, fn)
+	return nil
+}
+
+// MergeLUTs folds a remote peer's workload LUT store into this fleet,
+// each class into its home shard's store — the same warm-handoff rule
+// finishDrain applies between local shards, extended across the process
+// boundary. Call it before importing the sessions the store calibrates,
+// so their first round estimates warm. Safe from any goroutine; a nil
+// store is a no-op.
+func (f *Fleet) MergeLUTs(st *workload.Store) {
+	if st == nil {
+		return
+	}
+	for _, class := range st.Classes() {
+		if ti := f.HomeShard(class); ti >= 0 {
+			f.shardAt(ti).srv.Store().MergeClass(st, class)
+		}
+	}
+}
+
+// StoreSnapshot merges every live shard's per-class workload LUT store
+// into one detached snapshot — the warm-handoff payload an agent ships
+// with its heartbeats so a master can re-import its sessions elsewhere
+// with calibrated estimation state (workload.Store.Save is its wire
+// format). Safe from any goroutine; the snapshot is a deep copy.
+func (f *Fleet) StoreSnapshot() *workload.Store {
+	f.mu.Lock()
+	var stores []*workload.Store
+	for _, s := range f.shards {
+		if !s.removed {
+			stores = append(stores, s.srv.Store())
+		}
+	}
+	f.mu.Unlock()
+	out := workload.NewStore()
+	for _, st := range stores {
+		out.Merge(st)
+	}
+	return out
+}

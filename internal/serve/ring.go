@@ -21,35 +21,40 @@ import (
 // key hashes to a point on the circle, and its home shard is the owner of
 // the first virtual point at or after it (wrapping around).
 
-// ringReplicas is the number of virtual points per shard. 64 keeps the
-// per-shard arc share within a few percent of uniform for small fleets
-// while the ring stays tiny (shards × 64 points).
-const ringReplicas = 64
+// RingReplicas is the default number of virtual points per member. 64
+// keeps the per-member arc share within a few percent of uniform for
+// small member sets while the ring stays tiny (members × 64 points).
+const RingReplicas = 64
 
 type ringPoint struct {
-	hash  uint64
-	shard int
+	hash   uint64
+	member string
 }
 
-type hashRing struct {
+// Ring is the consistent-hash ring, keyed by member *name*. The fleet
+// uses it with members named "shard/<index>"; a distributed master reuses
+// it unchanged with agent names as members. Because a member's virtual
+// points depend only on its own name, membership is order-independent:
+// building a ring from {a, b, c} in any registration order yields the
+// same key→member mapping, and adding or removing a member never moves
+// the other members' points — a key changes home only if its arc is
+// taken over by a joined member or owned by a left one.
+type Ring struct {
 	points []ringPoint
 }
 
-// newHashRing builds the ring over an explicit member set — the live
-// shard indices. An elastic fleet rebuilds the ring on every resize;
-// because a shard's virtual points depend only on its own index, adding
-// or removing a member never moves the other members' points: a class
-// changes home only if its arc is taken over by an added shard or owned
-// by a removed one.
-func newHashRing(members []int, replicas int) *hashRing {
+// NewRing builds a ring over the named members with the given number of
+// virtual points each (<= 0 means RingReplicas). Member names must be
+// distinct; a duplicated name just doubles that member's points.
+func NewRing(members []string, replicas int) *Ring {
 	if replicas <= 0 {
-		replicas = ringReplicas
+		replicas = RingReplicas
 	}
-	r := &hashRing{points: make([]ringPoint, 0, len(members)*replicas)}
-	for _, shard := range members {
+	r := &Ring{points: make([]ringPoint, 0, len(members)*replicas)}
+	for _, m := range members {
 		for rep := 0; rep < replicas; rep++ {
-			h := hash64(fmt.Sprintf("shard/%d/%d", shard, rep))
-			r.points = append(r.points, ringPoint{hash: h, shard: shard})
+			h := hash64(fmt.Sprintf("%s/%d", m, rep))
+			r.points = append(r.points, ringPoint{hash: h, member: m})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
@@ -58,9 +63,44 @@ func newHashRing(members []int, replicas int) *hashRing {
 		}
 		// A full 64-bit collision between two virtual points is all but
 		// impossible; break it deterministically anyway.
-		return r.points[i].shard < r.points[j].shard
+		return r.points[i].member < r.points[j].member
 	})
 	return r
+}
+
+// MemberFor maps a key to its home member ("" on an empty ring): the
+// owner of the first virtual point at or after the key's hash, wrapping.
+func (r *Ring) MemberFor(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// hashRing adapts Ring to the fleet's integer shard indices. The member
+// name for shard i is "shard/<i>", so the virtual-point keys
+// ("shard/<i>/<rep>") — and therefore every class→shard assignment — are
+// identical to the pre-Ring construction.
+type hashRing struct {
+	ring  *Ring
+	index map[string]int
+}
+
+// newHashRing builds the ring over an explicit member set — the live
+// shard indices. An elastic fleet rebuilds the ring on every resize.
+func newHashRing(members []int, replicas int) *hashRing {
+	names := make([]string, len(members))
+	index := make(map[string]int, len(members))
+	for i, shard := range members {
+		names[i] = fmt.Sprintf("shard/%d", shard)
+		index[names[i]] = shard
+	}
+	return &hashRing{ring: NewRing(names, replicas), index: index}
 }
 
 // seqMembers returns [0, 1, ..., n-1] — the member set of a fresh fleet.
@@ -74,15 +114,11 @@ func seqMembers(n int) []int {
 
 // shardFor maps a key to its home shard (-1 on an empty ring).
 func (r *hashRing) shardFor(key string) int {
-	if len(r.points) == 0 {
+	name := r.ring.MemberFor(key)
+	if name == "" {
 		return -1
 	}
-	h := hash64(key)
-	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	if i == len(r.points) {
-		i = 0
-	}
-	return r.points[i].shard
+	return r.index[name]
 }
 
 // Demand-aware placement (DESIGN.md §11). The ring alone routes by class

@@ -93,3 +93,80 @@ func TestRingBalance(t *testing.T) {
 		}
 	}
 }
+
+// TestRingNameKeyedOrderIndependence is the property a distributed master
+// leans on: a ring over named members routes identically no matter the
+// order agents registered in — membership is a set, not a sequence.
+func TestRingNameKeyedOrderIndependence(t *testing.T) {
+	members := []string{"agent-alpha", "agent-beta", "agent-gamma", "agent-delta"}
+	perms := [][]string{
+		{"agent-alpha", "agent-beta", "agent-gamma", "agent-delta"},
+		{"agent-delta", "agent-gamma", "agent-beta", "agent-alpha"},
+		{"agent-beta", "agent-delta", "agent-alpha", "agent-gamma"},
+	}
+	ref := NewRing(members, 0)
+	for _, perm := range perms {
+		r := NewRing(perm, 0)
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("class-%d", i)
+			if got, want := r.MemberFor(key), ref.MemberFor(key); got != want {
+				t.Fatalf("order %v: key %q routed to %q, want %q", perm, key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingNameKeyedJoinLeave: a named member joining or leaving moves
+// only the keys whose arc that member takes over or gives up — the
+// stability property that lets a master fail over one dead agent without
+// reshuffling the survivors' classes (and their warm LUTs).
+func TestRingNameKeyedJoinLeave(t *testing.T) {
+	const keys = 1000
+	base := NewRing([]string{"agent-a", "agent-b", "agent-c"}, 0)
+	joined := NewRing([]string{"agent-a", "agent-b", "agent-c", "agent-d"}, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("class-%d", i)
+		was, now := base.MemberFor(key), joined.MemberFor(key)
+		if was == now {
+			continue
+		}
+		moved++
+		if now != "agent-d" {
+			t.Fatalf("join: key %q moved %q→%q, not to the joiner", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("join: the new member owns no keys")
+	}
+	left := NewRing([]string{"agent-a", "agent-c"}, 0)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("class-%d", i)
+		was, now := base.MemberFor(key), left.MemberFor(key)
+		if was != "agent-b" && was != now {
+			t.Fatalf("leave: key %q moved %q→%q though only agent-b left", key, was, now)
+		}
+		if now == "agent-b" {
+			t.Fatalf("leave: key %q still routed to the departed member", key)
+		}
+	}
+	if got := NewRing(nil, 0).MemberFor("anything"); got != "" {
+		t.Fatalf("empty ring routed to %q, want empty", got)
+	}
+}
+
+// TestRingShardNamesMatchLegacyKeys pins the wire-compatibility detail:
+// the fleet names shard i "shard/<i>", whose virtual-point keys are the
+// exact strings the pre-Ring construction hashed — so this refactor moves
+// no class between shards.
+func TestRingShardNamesMatchLegacyKeys(t *testing.T) {
+	r := NewRing([]string{"shard/0", "shard/1", "shard/2"}, 0)
+	h := newHashRing(seqMembers(3), 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("class-%d", i)
+		want := fmt.Sprintf("shard/%d", h.shardFor(key))
+		if got := r.MemberFor(key); got != want {
+			t.Fatalf("key %q: named ring %q vs fleet ring %q", key, got, want)
+		}
+	}
+}

@@ -51,6 +51,9 @@ type options struct {
 	extraSinks []Sink
 	roundHook  func(shard int, out *core.GOPOutcome)
 
+	checkpointEvery int
+	checkpoint      func(shard int, wires []*core.SessionWire)
+
 	lutPath string
 
 	capacity    int
@@ -297,6 +300,10 @@ type shardState struct {
 	// migrated is closed exactly once, when the shard's drain completes
 	// (or is abandoned by cancellation) — what Resize blocks on.
 	migrated chan struct{}
+	// pending holds callbacks scheduled by Fleet.OnNextRound, drained on
+	// the shard's serving goroutine at the next round boundary — the safe
+	// point for ExportSession/CheckpointSessions (guarded by Fleet.mu).
+	pending []func(core.Shard)
 }
 
 // New validates the options and builds the fleet's shards.
@@ -307,7 +314,7 @@ func New(opts ...Option) (*Fleet, error) {
 		allocator:   sched.NameContentAware,
 		registry:    sched.Default,
 		maxRestarts: 1,
-		replicas:    ringReplicas,
+		replicas:    RingReplicas,
 	}
 	for _, opt := range opts {
 		opt(&o)
@@ -437,6 +444,21 @@ func (f *Fleet) newShardState(index int, platform *mpsoc.Platform, allocName str
 			f.tickRound()
 			if f.opts.roundHook != nil {
 				f.opts.roundHook(shard.index, out)
+			}
+			// Scheduled round-boundary work (Fleet.OnNextRound): runs on
+			// this serving goroutine, where ExportSession and
+			// CheckpointSessions are legal mid-Run.
+			f.mu.Lock()
+			fns := shard.pending
+			shard.pending = nil
+			f.mu.Unlock()
+			for _, fn := range fns {
+				fn(shard.srv)
+			}
+			if f.opts.checkpoint != nil && out.Round%f.opts.checkpointEvery == 0 {
+				if wires, err := shard.srv.CheckpointSessions(); err == nil {
+					f.opts.checkpoint(shard.index, wires)
+				}
 			}
 		},
 		OnSessionState: func(id int, state core.SessionState, err error) {
@@ -750,7 +772,7 @@ func (f *Fleet) startSupervisorLocked(ctx context.Context, s *shardState) {
 			// the loop was stopping (an Import racing a clean close; the
 			// next pass serves them).
 			exit := s.dead || s.removed || ctx.Err() != nil ||
-				(!s.draining && s.srv.Load() == 0)
+				(!s.draining && s.srv.LoadReport().Sessions == 0)
 			release := exit && s.draining && !s.removed
 			if exit {
 				s.supervising = false
