@@ -4,11 +4,13 @@
 // Two modes:
 //
 //	benchdiff -parse bench.txt                 # text → JSON on stdout
-//	benchdiff -baseline BENCH_pr6.json -current BENCH_ci.json \
-//	          -metric gops/svc-sec -max-drop 0.20 -low-metric ns/op -max-rise 0.20
+//	benchdiff -baseline BENCH_pr9.json -current BENCH_ci.json \
+//	          -metric gops/svc-sec -max-drop 0.20 -low-metric ns/op -max-rise 0.20 \
+//	          -gate-low allocs/op:0.10 -gate-low B/op:0.20
 //
 // Parse averages repeated runs (-count N) of each benchmark and keeps
-// every reported metric (ns/op, custom b.ReportMetric units, ...).
+// every reported metric (ns/op, custom b.ReportMetric units, and the
+// B/op / allocs/op pairs emitted under `go test -benchmem`).
 // Compare fails (exit 1) when any benchmark present in both files drops
 // more than -max-drop on a higher-is-better metric like gops/svc-sec —
 // chosen as the primary gate because it is measured in simulated
@@ -18,9 +20,13 @@
 // value rises more than -max-rise above the baseline — the coarse
 // wall-clock backstop that catches a real slowdown the service-time
 // metric cannot see, which is why its default tolerance is the same 20%
-// but measured in the other direction. A benchmark missing from the
-// current file fails too: a gate that silently stops measuring is no
-// gate.
+// but measured in the other direction. -gate-low METRIC:MAXRISE adds
+// further lower-is-better gates with per-metric tolerances and may be
+// repeated; CI uses it to fail allocs/op regressions beyond 10%, the
+// allocation budget the pooled encode hot path is held to (allocation
+// counts are deterministic, so the tolerance can be much tighter than
+// for wall-clock metrics). A benchmark missing from the current file
+// fails too: a gate that silently stops measuring is no gate.
 package main
 
 import (
@@ -53,6 +59,15 @@ func main() {
 		lowMetric = flag.String("low-metric", "", "optional lower-is-better metric to gate on as well (e.g. ns/op)")
 		maxRise   = flag.Float64("max-rise", 0.20, "maximum tolerated fractional rise above the baseline on -low-metric")
 	)
+	var gateLows []lowGate
+	flag.Func("gate-low", "additional lower-is-better gate `METRIC:MAXRISE` (repeatable), e.g. allocs/op:0.10", func(v string) error {
+		g, err := parseLowGate(v)
+		if err != nil {
+			return err
+		}
+		gateLows = append(gateLows, g)
+		return nil
+	})
 	flag.Parse()
 
 	switch {
@@ -80,13 +95,37 @@ func main() {
 		if *lowMetric != "" {
 			ok = compare(base, cur, *lowMetric, *maxRise, true, os.Stdout, os.Stderr) && ok
 		}
+		for _, g := range gateLows {
+			ok = compare(base, cur, g.metric, g.maxRise, true, os.Stdout, os.Stderr) && ok
+		}
 		if !ok {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse FILE | benchdiff -baseline a.json -current b.json [-metric M] [-max-drop F] [-low-metric M] [-max-rise F]")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -parse FILE | benchdiff -baseline a.json -current b.json [-metric M] [-max-drop F] [-low-metric M] [-max-rise F] [-gate-low M:F]...")
 		os.Exit(2)
 	}
+}
+
+// lowGate is one -gate-low entry: a lower-is-better metric with its own
+// tolerated fractional rise.
+type lowGate struct {
+	metric  string
+	maxRise float64
+}
+
+// parseLowGate splits "METRIC:MAXRISE" (e.g. "allocs/op:0.10"). The
+// split is on the LAST colon so metric names containing colons survive.
+func parseLowGate(v string) (lowGate, error) {
+	i := strings.LastIndex(v, ":")
+	if i <= 0 || i == len(v)-1 {
+		return lowGate{}, fmt.Errorf("benchdiff: -gate-low wants METRIC:MAXRISE, got %q", v)
+	}
+	tol, err := strconv.ParseFloat(v[i+1:], 64)
+	if err != nil || math.IsNaN(tol) || tol < 0 {
+		return lowGate{}, fmt.Errorf("benchdiff: -gate-low %q: bad tolerance %q", v, v[i+1:])
+	}
+	return lowGate{metric: v[:i], maxRise: tol}, nil
 }
 
 // parseBench reads `go test -bench` text output. A result line looks like

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -111,6 +113,89 @@ func TestCompareDirections(t *testing.T) {
 		})
 		var out, errw bytes.Buffer
 		if got := compare(base, cur, tc.metric, 0.20, tc.lowerIsBetter, &out, &errw); got != tc.wantOK {
+			t.Errorf("%s: compare=%v want %v\n%s", tc.name, got, tc.wantOK, out.String())
+		}
+	}
+}
+
+// TestParseBenchmemOutput: -benchmem appends "N B/op" and "N allocs/op"
+// pairs to every result line; parse must keep them as metrics alongside
+// ns/op and custom b.ReportMetric units, averaging across -count repeats.
+func TestParseBenchmemOutput(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFleetRun_Churn-8    2  953843882 ns/op  30.00 gops/svc-sec  1200000 B/op  42000 allocs/op
+BenchmarkFleetRun_Churn-8    2  953843884 ns/op  30.00 gops/svc-sec  1200000 B/op  44000 allocs/op
+BenchmarkServeGOP_Scaling/users4-8  2  185459566 ns/op  26698484 B/op  42077 allocs/op
+PASS
+`
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := b.Benchmarks["BenchmarkFleetRun_Churn"]
+	if churn == nil {
+		t.Fatalf("churn benchmark not parsed: %+v", b.Benchmarks)
+	}
+	if got := churn["allocs/op"]; got != 43000 {
+		t.Errorf("allocs/op not averaged across repeats: got %v want 43000", got)
+	}
+	if got := churn["B/op"]; got != 1200000 {
+		t.Errorf("B/op = %v, want 1200000", got)
+	}
+	if got := churn["gops/svc-sec"]; got != 30 {
+		t.Errorf("custom metric lost alongside benchmem pairs: %v", got)
+	}
+	scaling := b.Benchmarks["BenchmarkServeGOP_Scaling/users4"]
+	if scaling == nil || scaling["allocs/op"] != 42077 || scaling["B/op"] != 26698484 {
+		t.Errorf("sub-benchmark benchmem pairs wrong: %+v", scaling)
+	}
+}
+
+// TestParseLowGate covers the -gate-low flag syntax.
+func TestParseLowGate(t *testing.T) {
+	g, err := parseLowGate("allocs/op:0.10")
+	if err != nil || g.metric != "allocs/op" || g.maxRise != 0.10 {
+		t.Errorf("parseLowGate(allocs/op:0.10) = %+v, %v", g, err)
+	}
+	// The split is on the last colon, so exotic metric names survive.
+	g, err = parseLowGate("custom:thing:0.5")
+	if err != nil || g.metric != "custom:thing" || g.maxRise != 0.5 {
+		t.Errorf("parseLowGate(custom:thing:0.5) = %+v, %v", g, err)
+	}
+	for _, bad := range []string{"", "allocs/op", "allocs/op:", ":0.1", "allocs/op:x", "allocs/op:-1", "allocs/op:NaN"} {
+		if _, err := parseLowGate(bad); err == nil {
+			t.Errorf("parseLowGate(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCompareAllocsGate pins the CI allocation gate: a >10% allocs/op
+// rise fails, a rise within tolerance or an improvement passes.
+func TestCompareAllocsGate(t *testing.T) {
+	base := baselineOf(map[string]map[string]float64{
+		"BenchmarkServeGOP_Scaling/users4": {"ns/op": 1.9e8, "allocs/op": 16000, "B/op": 1.8e7},
+	})
+	cases := []struct {
+		name   string
+		allocs float64
+		wantOK bool
+	}{
+		{"regression past 10%", 18000, false},
+		{"rise within 10%", 17000, true},
+		{"improvement", 8000, true},
+	}
+	for _, tc := range cases {
+		cur := baselineOf(map[string]map[string]float64{
+			"BenchmarkServeGOP_Scaling/users4": {"ns/op": 1.9e8, "allocs/op": tc.allocs, "B/op": 1.8e7},
+		})
+		var out, errw bytes.Buffer
+		if got := compare(base, cur, "allocs/op", 0.10, true, &out, &errw); got != tc.wantOK {
 			t.Errorf("%s: compare=%v want %v\n%s", tc.name, got, tc.wantOK, out.String())
 		}
 	}

@@ -28,6 +28,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -63,6 +65,9 @@ func main() {
 		sinkFlag = flag.String("sink", "report", "telemetry sink: report|jsonl|jsonl:PATH|none")
 		lutsPath = flag.String("luts", "", "persist warmed workload LUTs at PATH (loaded on start, saved on clean exit)")
 
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to PATH, stopped and flushed on clean shutdown")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to PATH on clean shutdown (after a final GC)")
+
 		minShards  = flag.Int("min-shards", 0, "autoscaler floor (0 = -shards); the fleet never shrinks below this")
 		maxShards  = flag.Int("max-shards", 0, "autoscaler ceiling (0 = -shards); the fleet never grows beyond this")
 		targetUtil = flag.Float64("target-util", 0.75, "autoscaler target demand-normalized utilization (summed core demand over summed capacity)")
@@ -97,6 +102,12 @@ func main() {
 		eventsPath   = flag.String("events", "", "master operational journal (agent deaths, re-imports) as JSONL at PATH")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopProfiles()
 
 	if *masterAddr != "" || *agentAddr != "" || *submitURL != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -678,6 +689,48 @@ func motionByName(name string) (medgen.MotionKind, bool) {
 		}
 	}
 	return 0, false
+}
+
+// startProfiles turns on the requested pprof outputs and returns the
+// shutdown hook that flushes them: the CPU profile is stopped and closed,
+// and the heap profile is captured after a final GC so it reflects live
+// retention rather than garbage awaiting collection. The hook runs on
+// clean shutdown only (including interrupt-triggered drains); a fatal
+// error exits without profiles, like any crashed pprof session.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "transcode: cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "transcode: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "transcode: memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "transcode: memprofile: %v\n", err)
+			}
+		}
+	}, nil
 }
 
 func fatalf(format string, args ...interface{}) {

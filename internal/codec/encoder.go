@@ -25,6 +25,12 @@ type Encoder struct {
 	ref *video.Frame
 	// frames counts encoded frames (display order).
 	frames int
+	// spare is the retired previous-previous reconstruction, recycled as
+	// the next frame's reconstruction buffer (see takeRecon/retireRef).
+	spare *video.Frame
+	// refOwned reports whether ref was allocated by this encoder. Restore
+	// installs externally-owned references that must never be recycled.
+	refOwned bool
 }
 
 // NewEncoder validates cfg and returns an encoder.
@@ -42,7 +48,11 @@ func (e *Encoder) Config() Config { return e.cfg }
 func (e *Encoder) FramesEncoded() int { return e.frames }
 
 // Reference returns the current reconstructed reference frame (nil before
-// the first frame). Callers must not mutate it.
+// the first frame). Callers must not mutate it, and must not retain it
+// across encode calls: the encoder recycles retired references as future
+// reconstruction buffers, so a frame obtained here may be overwritten once
+// two more frames have been encoded. Read it (or deep-copy via Clone)
+// before the next encode.
 func (e *Encoder) Reference() *video.Frame { return e.ref }
 
 // Restore rewinds the encoder onto externally-saved state: the
@@ -66,7 +76,11 @@ func (e *Encoder) Restore(ref *video.Frame, frames int) error {
 				ref.Width(), ref.Height(), e.cfg.Width, e.cfg.Height)
 		}
 	}
+	if e.spare == ref {
+		e.spare = nil // never hand an installed reference back out as scratch
+	}
 	e.ref = ref
+	e.refOwned = false
 	e.frames = frames
 	return nil
 }
@@ -129,8 +143,15 @@ func (e *Encoder) encode(ctx context.Context, f *video.Frame, grid *tiling.Grid,
 		}
 	}
 
-	recon := video.NewFrame(e.cfg.Width, e.cfg.Height)
+	recon := e.takeRecon()
 	recon.Number = e.frames
+	// fail recycles the reconstruction buffer before propagating an error:
+	// a cancelled frame is retried (EncodeFrameContext contract), and the
+	// retry should reuse the same scratch instead of allocating.
+	fail := func(err error) (*FrameStats, *Bitstream, error) {
+		e.spare = recon
+		return nil, nil, err
+	}
 	stats := &FrameStats{Number: e.frames, Type: ftype, Tiles: make([]TileStats, len(grid.Tiles))}
 	bs := &Bitstream{Type: ftype, Tiles: make([][]byte, len(grid.Tiles))}
 
@@ -147,13 +168,13 @@ func (e *Encoder) encode(ctx context.Context, f *video.Frame, grid *tiling.Grid,
 	if workers == 1 || len(grid.Tiles) == 1 {
 		for i := range grid.Tiles {
 			if err := ctx.Err(); err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 			hostSlots <- struct{}{}
 			err := encodeOne(i)
 			<-hostSlots
 			if err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 		}
 	} else {
@@ -190,17 +211,17 @@ func (e *Encoder) encode(ctx context.Context, f *video.Frame, grid *tiling.Grid,
 		}
 		wg.Wait()
 		if rerr != nil {
-			return nil, nil, rerr
+			return fail(rerr)
 		}
 	}
 
 	// Chroma pass-through reconstruction: this grayscale-domain codec codes
 	// luma only; chroma is copied so decoded frames remain displayable.
 	if err := recon.Cb.CopyFrom(f.Cb); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	if err := recon.Cr.CopyFrom(f.Cr); err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 
 	var sse int64
@@ -212,7 +233,7 @@ func (e *Encoder) encode(ctx context.Context, f *video.Frame, grid *tiling.Grid,
 	}
 	stats.PSNR = psnrFromSSE(sse, e.cfg.Width*e.cfg.Height)
 
-	e.ref = recon
+	e.retireRef(recon)
 	e.frames++
 	return stats, bs, nil
 }
@@ -240,7 +261,8 @@ func psnrFromSSE(sse int64, n int) float64 {
 // returning its stats and bitstream payload.
 func (e *Encoder) encodeTile(src, recon *video.Frame, tile tiling.Tile, p TileParams, ftype FrameType) (TileStats, []byte, error) {
 	start := time.Now()
-	w := entropy.NewBitWriter()
+	w := getBitWriter()
+	defer putBitWriter(w)
 	// Tile header: QP, so the payload is self-contained for the decoder.
 	w.WriteUE(uint32(p.QP))
 
@@ -248,6 +270,7 @@ func (e *Encoder) encodeTile(src, recon *video.Frame, tile tiling.Tile, p TilePa
 	if err != nil {
 		return TileStats{}, nil, err
 	}
+	defer putTileCoder(tc)
 	if err := tc.encode(w); err != nil {
 		return TileStats{}, nil, err
 	}
@@ -285,14 +308,28 @@ type tileCoder struct {
 	lastMV motion.MV
 	// mvSum accumulates inter MVs for MeanMV.
 	mvSum motion.MV
+	// Per-block scratch, sized once per tile (sizeScratch) and reused by
+	// every block: prediction samples, intra candidate samples, transform
+	// coefficients and residual. Each is fully overwritten before any read.
+	pred   []uint8
+	tmp    []uint8
+	coeffs []int32
+	res    []int32
 }
 
+// newTileCoder returns a pooled coder initialized for one tile. Release
+// with putTileCoder when the tile is done.
 func newTileCoder(cfg Config, p TileParams, tile tiling.Tile, src, recon, ref *video.Plane, ftype FrameType) (*tileCoder, error) {
-	q, err := transform.NewQuantizer(cfg.TransformSize, p.QP, ftype == FrameI)
+	q, err := quantizerFor(cfg.TransformSize, p.QP, ftype == FrameI)
 	if err != nil {
 		return nil, err
 	}
-	return &tileCoder{cfg: cfg, p: p, tile: tile, src: src, recon: recon, ref: ref, ftype: ftype, quant: q}, nil
+	t := tileCoderPool.Get().(*tileCoder)
+	pred, tmp, coeffs, res := t.pred, t.tmp, t.coeffs, t.res
+	*t = tileCoder{cfg: cfg, p: p, tile: tile, src: src, recon: recon, ref: ref, ftype: ftype, quant: q,
+		pred: pred, tmp: tmp, coeffs: coeffs, res: res}
+	t.sizeScratch()
+	return t, nil
 }
 
 // encode runs the block loop over the tile in raster order.
@@ -318,7 +355,7 @@ func (t *tileCoder) encode(w *entropy.BitWriter) error {
 
 // encodeBlock codes one bw×bh prediction block at (bx, by).
 func (t *tileCoder) encodeBlock(w *entropy.BitWriter, bx, by, bw, bh int) error {
-	pred := make([]uint8, bw*bh)
+	pred := t.pred[:bw*bh]
 
 	useInter := false
 	var mv motion.MV
@@ -383,7 +420,7 @@ func (t *tileCoder) encodeBlock(w *entropy.BitWriter, bx, by, bw, bh int) error 
 // winning prediction in pred, returning the mode and its SAD cost.
 func (t *tileCoder) bestIntra(bx, by, bw, bh int, pred []uint8) (int, int64) {
 	bestMode, bestCost := intraDC, int64(1)<<62
-	tmp := make([]uint8, bw*bh)
+	tmp := t.tmp[:bw*bh]
 	for mode := 0; mode < numIntraModes; mode++ {
 		if !t.intraAvailable(mode, bx, by) {
 			continue
@@ -441,8 +478,8 @@ func (t *tileCoder) intraAvailable(mode, bx, by int) bool {
 func (t *tileCoder) codeResidual(w *entropy.BitWriter, bx, by, bw, bh int, pred []uint8) error {
 	n := t.cfg.TransformSize
 	zeroBound := skipSADThreshold(n, t.quant)
-	coeffs := make([]int32, n*n)
-	res := make([]int32, n*n)
+	coeffs := t.coeffs[:n*n]
+	res := t.res[:n*n]
 	for sy := 0; sy < bh; sy += n {
 		for sx := 0; sx < bw; sx += n {
 			vw := min(n, bw-sx)

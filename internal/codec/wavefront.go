@@ -62,7 +62,7 @@ func (e *Encoder) EncodeFrameWavefront(f *video.Frame, p TileParams, workers int
 	rows := (e.cfg.Height + bsz - 1) / bsz
 	cols := (e.cfg.Width + bsz - 1) / bsz
 
-	recon := video.NewFrame(e.cfg.Width, e.cfg.Height)
+	recon := e.takeRecon()
 	recon.Number = e.frames
 	frameTile := tiling.Tile{Rect: tiling.Rect{X: 0, Y: 0, W: e.cfg.Width, H: e.cfg.Height}}
 
@@ -95,12 +95,14 @@ func (e *Encoder) EncodeFrameWavefront(f *video.Frame, p TileParams, workers int
 
 	encodeRow := func(r int) error {
 		start := time.Now()
-		w := entropy.NewBitWriter()
+		w := getBitWriter()
+		defer putBitWriter(w)
 		w.WriteUE(uint32(p.QP))
 		tc, err := newTileCoder(e.cfg, p, frameTile, f.Y, recon.Y, refPlane(e.ref), ftype)
 		if err != nil {
 			return err
 		}
+		defer putTileCoder(tc)
 		by := r * bsz
 		bh := min(bsz, e.cfg.Height-by)
 		for c := 0; c < cols; c++ {
@@ -154,13 +156,16 @@ func (e *Encoder) EncodeFrameWavefront(f *video.Frame, p TileParams, workers int
 	}
 	wg.Wait()
 	if rerr != nil {
+		e.spare = recon
 		return nil, nil, rerr
 	}
 
 	if err := recon.Cb.CopyFrom(f.Cb); err != nil {
+		e.spare = recon
 		return nil, nil, err
 	}
 	if err := recon.Cr.CopyFrom(f.Cr); err != nil {
+		e.spare = recon
 		return nil, nil, err
 	}
 	var sse int64
@@ -171,7 +176,7 @@ func (e *Encoder) EncodeFrameWavefront(f *video.Frame, p TileParams, workers int
 		sse += ts.SSE
 	}
 	stats.PSNR = psnrFromSSE(sse, e.cfg.Width*e.cfg.Height)
-	e.ref = recon
+	e.retireRef(recon)
 	e.frames++
 	return stats, bs, nil
 }

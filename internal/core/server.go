@@ -194,6 +194,26 @@ type Server struct {
 	// energy accumulates every settled round's slot report — the
 	// authoritative per-shard platform ledger EnergyTotals exposes.
 	energy mpsoc.Totals
+
+	// Serving-goroutine-only state (never touched by the concurrent API,
+	// so deliberately outside mu): the allocator memo and the stage-D1
+	// batching scratch.
+	//
+	// allocFP/allocCached memoize stage D2: when the roster fingerprint
+	// (session set, per-tile workload keys, ladder rungs — see
+	// appendAllocFingerprint) is byte-identical to the previous round's
+	// and that round admitted everyone, the allocator is skipped and the
+	// cached Result reused. Results are immutable once returned, so
+	// sharing one across rounds is safe. Only clean (no-rejection)
+	// results are cached: under admission pressure the ladder must re-run
+	// every round so drifting estimates can eventually admit a queued
+	// session.
+	allocFP     []byte
+	allocCached *sched.Result
+	fpScratch   []byte
+	// estGroups pools the per-class key→estimate maps resolveEstimates
+	// reuses each round (bounded by the number of workload classes).
+	estGroups map[*workload.LUT]map[workload.Key]time.Duration
 }
 
 // NewServer validates and builds a server.
@@ -407,6 +427,9 @@ type LadderState struct {
 // roundSession carries one live session through a round.
 type roundSession struct {
 	rec *sessionRecord
+	// keys are the per-tile workload keys stage D1 looked up — the
+	// session's contribution to the allocator-memoization fingerprint.
+	keys []workload.Key
 	// estimates are the pre-round per-tile LUT predictions (unscaled).
 	estimates []time.Duration
 }
@@ -493,11 +516,10 @@ func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, er
 		return nil, nil, fmt.Errorf("core: no active sessions")
 	}
 
-	// Stage D1: prepare and estimate each live session.
-	for _, rs := range live {
-		if err := s.estimate(rs); err != nil {
-			return nil, nil, err
-		}
+	// Stage D1: prepare and estimate the live sessions, batching the LUT
+	// resolution across sessions of the same workload class.
+	if err := s.estimateRound(live); err != nil {
+		return nil, nil, err
 	}
 
 	// Stage D2 with the admission ladder (admission.go).
@@ -612,19 +634,78 @@ func (s *Server) recoverRates(out *GOPOutcome) {
 }
 
 // estimate runs stages A–C (when needed) and D1 for one live session,
-// filling rs.estimates.
+// filling rs.keys and rs.estimates. The admission ladder uses it to
+// re-price a single degraded session mid-round.
 func (s *Server) estimate(rs *roundSession) error {
+	if err := s.prepareKeys(rs); err != nil {
+		return err
+	}
+	return s.resolveEstimates([]*roundSession{rs})
+}
+
+// estimateRound is stage D1 for the whole round: stages A–C (when
+// needed) per session, then one batched LUT pass per workload class
+// instead of a locked lookup per tile per session.
+func (s *Server) estimateRound(live []*roundSession) error {
+	for _, rs := range live {
+		if err := s.prepareKeys(rs); err != nil {
+			return err
+		}
+	}
+	return s.resolveEstimates(live)
+}
+
+// prepareKeys runs stages A–C for the session when its GOP is not yet
+// analysed and refreshes the per-tile workload keys.
+func (s *Server) prepareKeys(rs *roundSession) error {
 	sess := rs.rec.sess
 	if err := sess.PrepareForEstimation(); err != nil {
 		return fmt.Errorf("core: session %d: %w", sess.ID, err)
 	}
-	threads, err := sess.EstimateThreads()
+	keys, err := sess.appendEstimationKeys(rs.keys[:0])
 	if err != nil {
 		return err
 	}
-	rs.estimates = make([]time.Duration, len(threads))
-	for i := range threads {
-		rs.estimates[i] = threads[i].TimeFmax
+	rs.keys = keys
+	return nil
+}
+
+// resolveEstimates fills rs.estimates from rs.keys. Sessions sharing a
+// class LUT share one estimate pass: their distinct keys are collected
+// into a per-LUT map and resolved under a single read lock
+// (workload.LUT.EstimateInto), so N same-class sessions with duplicate
+// tile keys cost one lookup each instead of N. Values are exactly what
+// per-tile Estimate calls would return — the LUT is quiescent during
+// estimation (encodes, and thus Observe/Calibrate, are round-phased).
+func (s *Server) resolveEstimates(live []*roundSession) error {
+	if s.estGroups == nil {
+		s.estGroups = make(map[*workload.LUT]map[workload.Key]time.Duration)
+	}
+	for _, g := range s.estGroups {
+		clear(g)
+	}
+	for _, rs := range live {
+		g := s.estGroups[rs.rec.lut]
+		if g == nil {
+			g = make(map[workload.Key]time.Duration)
+			s.estGroups[rs.rec.lut] = g
+		}
+		for _, k := range rs.keys {
+			g[k] = 0
+		}
+	}
+	for lut, g := range s.estGroups {
+		lut.EstimateInto(g)
+	}
+	for _, rs := range live {
+		g := s.estGroups[rs.rec.lut]
+		if cap(rs.estimates) < len(rs.keys) {
+			rs.estimates = make([]time.Duration, len(rs.keys))
+		}
+		rs.estimates = rs.estimates[:len(rs.keys)]
+		for i, k := range rs.keys {
+			rs.estimates[i] = g[k]
+		}
 	}
 	return nil
 }

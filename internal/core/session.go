@@ -652,11 +652,28 @@ func (s *Session) EncodeGOPContext(ctx context.Context, workers int) (*GOPReport
 // session must have a prepared GOP (encode at least one frame first, or
 // call PrepareForEstimation).
 func (s *Session) EstimateThreads() ([]sched.Thread, error) {
+	keys, err := s.appendEstimationKeys(nil)
+	if err != nil {
+		return nil, err
+	}
+	threads := make([]sched.Thread, len(keys))
+	for i, key := range keys {
+		threads[i] = sched.Thread{User: s.ID, Tile: i, TimeFmax: s.lut.Estimate(key)}
+	}
+	return threads, nil
+}
+
+// appendEstimationKeys appends the per-tile LUT keys stage D1 looks up
+// for the current grid — the workload fingerprint of the session's
+// upcoming GOP. The server batches the actual LUT resolution across all
+// sessions of a class (Server.resolveEstimates) and reuses the same keys
+// as the allocator-memoization roster fingerprint, so this is the single
+// source of truth for what a session is about to cost.
+func (s *Session) appendEstimationKeys(dst []workload.Key) ([]workload.Key, error) {
 	if s.grid == nil {
 		return nil, fmt.Errorf("core: session %d has no prepared GOP", s.ID)
 	}
 	frameInGOP := s.cfg.Codec.FrameInGOP(s.frame)
-	threads := make([]sched.Thread, len(s.grid.Tiles))
 	for i, tc := range s.contents {
 		qp := s.cfg.BaselineQP
 		window := s.cfg.BaselineWindow
@@ -664,10 +681,9 @@ func (s *Session) EstimateThreads() ([]sched.Thread, error) {
 			qp = s.qps[i]
 			_, window = s.policy.Choose(i, tc.Motion == analysis.MotionHigh, frameInGOP)
 		}
-		key := workload.MakeKey(s.grid.Tiles[i].Area(), int(tc.Texture), int(tc.Motion), s.effectiveQP(qp), window)
-		threads[i] = sched.Thread{User: s.ID, Tile: i, TimeFmax: s.lut.Estimate(key)}
+		dst = append(dst, workload.MakeKey(s.grid.Tiles[i].Area(), int(tc.Texture), int(tc.Motion), s.effectiveQP(qp), window))
 	}
-	return threads, nil
+	return dst, nil
 }
 
 // PrepareForEstimation runs stages A–C for the upcoming frame without

@@ -24,6 +24,16 @@ type BitWriter struct {
 // NewBitWriter returns an empty writer.
 func NewBitWriter() *BitWriter { return &BitWriter{} }
 
+// Reset returns the writer to the empty state while keeping the byte
+// buffer's capacity, so pooled writers append without reallocating. Any
+// stale bytes beyond the reset length are unreachable: every byte of a
+// subsequent Bytes() result is produced by post-Reset writes.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+	w.bits = 0
+}
+
 // WriteBit appends a single bit (0 or 1).
 func (w *BitWriter) WriteBit(b uint) {
 	w.cur = w.cur<<1 | uint8(b&1)

@@ -75,7 +75,10 @@ func Forward(n int, src, dst []int32) error {
 		return err
 	}
 	s1, s2 := shifts(n)
-	tmp := make([]int32, n*n)
+	// Fixed-size stage scratch (n ≤ 8, so n*n ≤ 64): stays on the caller's
+	// stack, keeping the per-sub-block transform allocation-free.
+	var scratch [Size8 * Size8]int32
+	tmp := scratch[:n*n]
 	mulStage(n, src, tmp, s1, false) // rows: tmp = (M · srcᵀ-wise) per HEVC column pass
 	mulStage(n, tmp, dst, s2, false) // columns
 	return nil
@@ -87,7 +90,8 @@ func Inverse(n int, src, dst []int32) error {
 	if err := checkBlock(n, src, dst); err != nil {
 		return err
 	}
-	tmp := make([]int32, n*n)
+	var scratch [Size8 * Size8]int32
+	tmp := scratch[:n*n]
 	mulStage(n, src, tmp, 7, true)
 	mulStage(n, tmp, dst, 12, true)
 	return nil

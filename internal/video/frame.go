@@ -30,6 +30,21 @@ func NewFrame(w, h int) *Frame {
 	}
 }
 
+// Reset clears the frame's metadata (Number, PTS) so a recycled buffer
+// starts like a fresh NewFrame. Pixel data is left untouched: a reuser
+// must either overwrite every sample it later reads or call Zero. Pools
+// (e.g. the encoder's reconstruction recycling) rely on this being cheap.
+func (f *Frame) Reset() {
+	f.Number = 0
+	f.PTS = 0
+}
+
+// CanReuse reports whether the frame can serve as a recycled w×h buffer:
+// the geometry must match exactly (planes are never resized in place).
+func (f *Frame) CanReuse(w, h int) bool {
+	return f != nil && f.Width() == w && f.Height() == h
+}
+
 // Width returns the luma width.
 func (f *Frame) Width() int { return f.Y.W }
 

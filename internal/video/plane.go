@@ -63,6 +63,18 @@ func (p *Plane) MustSubPlane(x, y, w, h int) *Plane {
 	return sp
 }
 
+// Zero clears every sample, returning a recycled plane to the state
+// NewPlane allocates. It is the explicit-scrub half of the reuse contract;
+// callers that provably overwrite the full plane may skip it.
+func (p *Plane) Zero() {
+	for y := 0; y < p.H; y++ {
+		row := p.Row(y)
+		for x := range row {
+			row[x] = 0
+		}
+	}
+}
+
 // Fill sets every sample to v.
 func (p *Plane) Fill(v uint8) {
 	for y := 0; y < p.H; y++ {

@@ -268,6 +268,27 @@ func (l *LUT) Calibrations() uint64 {
 func (l *LUT) Estimate(k Key) time.Duration {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	return l.estimateLocked(k)
+}
+
+// EstimateInto resolves every key of m to its estimate under a single
+// read lock — the batched form of Estimate for stage D1, where the
+// sessions of one workload class collectively look up far fewer distinct
+// keys than they have tiles. Each value is exactly what Estimate(key)
+// would return at the same instant; only the locking is amortized.
+func (l *LUT) EstimateInto(m map[Key]time.Duration) {
+	if len(m) == 0 {
+		return
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for k := range m {
+		m[k] = l.estimateLocked(k)
+	}
+}
+
+// estimateLocked is Estimate's body; the caller holds at least mu.RLock.
+func (l *LUT) estimateLocked(k Key) time.Duration {
 	if h, ok := l.m[k]; ok && h.hasData() {
 		return h.value()
 	}
