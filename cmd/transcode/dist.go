@@ -28,6 +28,7 @@ import (
 	"repro/internal/medgen"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/tenancy"
 )
 
 type distOpts struct {
@@ -48,6 +49,10 @@ type distOpts struct {
 	seed                                 int64
 	allocator, sink                      string
 	metricsAddr                          string
+
+	tenant        string
+	priority      int
+	tenantsConfig string
 }
 
 // runMaster serves the routing/supervision node until the context is
@@ -64,8 +69,19 @@ func runMaster(ctx context.Context, o distOpts) error {
 		defer f.Close()
 		events = json.NewEncoder(f)
 	}
+	// The master enforces the fleet-wide per-tenant admission rate at the
+	// routing front door (agents run rate-stripped registries, so a routed
+	// submission is charged exactly once).
+	var reg *tenancy.Registry
+	if o.tenantsConfig != "" {
+		var err error
+		if reg, err = tenancy.LoadFile(o.tenantsConfig); err != nil {
+			return err
+		}
+	}
 	m, err := dist.NewMaster(dist.MasterConfig{
 		Addr:             o.masterAddr,
+		Tenancy:          reg,
 		HeartbeatTimeout: o.heartbeatGrace,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -101,6 +117,15 @@ func runAgent(ctx context.Context, o distOpts) error {
 		serve.WithAllocator(o.allocator),
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
 		serve.WithAdmission(core.AdmissionConfig{Enabled: true, RecoverAfterRounds: 3}),
+	}
+	if o.tenantsConfig != "" {
+		reg, err := tenancy.LoadFile(o.tenantsConfig)
+		if err != nil {
+			return err
+		}
+		// Weights and priority classes only: the master already charged
+		// the fleet-wide token bucket before routing here.
+		fleetOptions = append(fleetOptions, serve.WithTenancy(reg.WithoutRates()))
 	}
 	if o.metricsAddr != "" {
 		msink := metrics.NewSink(metrics.SinkConfig{Agent: o.name})
@@ -178,9 +203,11 @@ func runSubmit(ctx context.Context, o distOpts) error {
 			return err
 		}
 		req := dist.SubmitRequest{
-			Version: dist.ProtocolVersion,
-			Source:  spec,
-			Config:  core.DefaultSessionConfig(),
+			Version:  dist.ProtocolVersion,
+			Source:   spec,
+			Config:   core.DefaultSessionConfig(),
+			Tenant:   o.tenant,
+			Priority: o.priority,
 		}
 		var resp dist.RoutedSubmitResponse
 		if err := client.PostJSON(ctx, o.submitURL+"/v1/submit", req, &resp); err != nil {

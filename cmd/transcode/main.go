@@ -17,6 +17,7 @@
 //	transcode -users 8 -frames 32
 //	transcode -shards 3 -users 12 -frames 16 -sink jsonl -luts /tmp/luts.json
 //	transcode -users 6 -allocator baseline
+//	transcode -users 9 -tenants-config tenants.json -tenant-plan batch:6,clinic:2,er:1
 package main
 
 import (
@@ -42,6 +43,7 @@ import (
 	"repro/internal/mpsoc"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/tenancy"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -64,6 +66,11 @@ func main() {
 			fmt.Sprintf("stage-D2 allocation policy: %s", strings.Join(sched.Names(), "|")))
 		sinkFlag = flag.String("sink", "report", "telemetry sink: report|jsonl|jsonl:PATH|none")
 		lutsPath = flag.String("luts", "", "persist warmed workload LUTs at PATH (loaded on start, saved on clean exit)")
+
+		tenantFlag = flag.String("tenant", "", "tenant id submitted sessions belong to (empty = the default tenant)")
+		tenantsCfg = flag.String("tenants-config", "", "per-tenant QoS policy (weights, priority classes, admission rates) as tenancy JSON at PATH")
+		priorityFl = flag.Int("priority", 0, "priority class for submitted sessions (0 = tenant default / best effort; higher preempts under overload)")
+		tenantPlan = flag.String("tenant-plan", "", "assign the -users sessions to tenants in submission order: TENANT[:COUNT][@PRIORITY],... (overrides -tenant/-priority; counts must sum to -users)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to PATH, stopped and flushed on clean shutdown")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to PATH on clean shutdown (after a final GC)")
@@ -120,6 +127,7 @@ func main() {
 			users: *users, shards: *shards, width: *width, height: *height,
 			frames: *frames, seed: *seed,
 			allocator: *allocator, sink: *sinkFlag, metricsAddr: *metricsAddr,
+			tenant: *tenantFlag, priority: *priorityFl, tenantsConfig: *tenantsCfg,
 		}
 		var err error
 		switch {
@@ -157,6 +165,8 @@ func main() {
 			hotClass: *hotClass, rebFactor: *rebFactor, rebWindow: *rebWindow,
 			metricsAddr: *metricsAddr, metricsGrace: *metricsGrace,
 			costJoule: *costJoule, costMiss: *costMiss,
+			tenant: *tenantFlag, priority: *priorityFl,
+			tenantsConfig: *tenantsCfg, tenantPlan: *tenantPlan,
 		})
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -273,6 +283,55 @@ type fleetOpts struct {
 	metricsGrace time.Duration
 	costJoule    float64
 	costMiss     float64
+
+	tenant        string
+	priority      int
+	tenantsConfig string
+	tenantPlan    string
+}
+
+// tenantAssignment is one user's QoS identity under -tenant-plan.
+type tenantAssignment struct {
+	tenant   string
+	priority int
+}
+
+// parseTenantPlan expands "TENANT[:COUNT][@PRIORITY],..." into one
+// assignment per user, in plan order — the order matters under -stagger,
+// where later entries arrive later (e.g. "batch:6,clinic:2,er:1@9" ends
+// with one emergency-priority arrival onto an already-loaded fleet).
+func parseTenantPlan(spec string, users int) ([]tenantAssignment, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []tenantAssignment
+	for _, part := range strings.Split(spec, ",") {
+		entry := strings.TrimSpace(part)
+		pri := 0
+		if at := strings.IndexByte(entry, '@'); at >= 0 {
+			if _, err := fmt.Sscanf(entry[at+1:], "%d", &pri); err != nil {
+				return nil, fmt.Errorf("bad -tenant-plan entry %q (want TENANT[:COUNT][@PRIORITY])", part)
+			}
+			entry = entry[:at]
+		}
+		count := 1
+		if colon := strings.IndexByte(entry, ':'); colon >= 0 {
+			if _, err := fmt.Sscanf(entry[colon+1:], "%d", &count); err != nil || count < 1 {
+				return nil, fmt.Errorf("bad -tenant-plan entry %q (want TENANT[:COUNT][@PRIORITY])", part)
+			}
+			entry = entry[:colon]
+		}
+		if entry == "" {
+			return nil, fmt.Errorf("bad -tenant-plan entry %q (empty tenant id)", part)
+		}
+		for i := 0; i < count; i++ {
+			out = append(out, tenantAssignment{tenant: entry, priority: pri})
+		}
+	}
+	if len(out) != users {
+		return nil, fmt.Errorf("-tenant-plan covers %d users, -users is %d", len(out), users)
+	}
+	return out, nil
 }
 
 // parseShardCores parses the -shard-cores list ("8,16,32") into per-shard
@@ -401,6 +460,10 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 	if err != nil {
 		return err
 	}
+	plan, err := parseTenantPlan(o.tenantPlan, o.users)
+	if err != nil {
+		return err
+	}
 
 	// Cap each shard's live sessions at an even share of the submitted
 	// users: the synthetic corpus has only a handful of workload classes,
@@ -462,17 +525,37 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 		}
 		scfg := core.DefaultSessionConfig()
 		scfg.Mode = mode
-		p, err := fleet.Submit(src, scfg)
+		tn, pr := o.tenant, o.priority
+		if plan != nil {
+			tn, pr = plan[i].tenant, plan[i].priority
+		}
+		p, err := fleet.SubmitWith(serve.SubmitRequest{
+			Source: src, Config: scfg, Tenant: tn, Priority: pr,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("user %2d (%s) → shard %d (home %d)\n",
-			i, className, p.Shard, fleet.HomeShard(className))
+		if tn != "" {
+			fmt.Printf("user %2d (%s, tenant %s) → shard %d (home %d)\n",
+				i, className, tn, p.Shard, fleet.HomeShard(className))
+		} else {
+			fmt.Printf("user %2d (%s) → shard %d (home %d)\n",
+				i, className, p.Shard, fleet.HomeShard(className))
+		}
 		return nil
 	}
 
 	fleetOptions := []serve.Option{
 		serve.WithShardCapacity(capacity),
+	}
+	if o.tenantsConfig != "" {
+		reg, err := tenancy.LoadFile(o.tenantsConfig)
+		if err != nil {
+			return err
+		}
+		fleetOptions = append(fleetOptions, serve.WithTenancy(reg))
+	}
+	fleetOptions = append(fleetOptions,
 		serve.WithAllocator(o.allocator),
 		serve.WithCalibration(core.CalibrationConfig{Enabled: true}),
 		serve.WithAdmission(core.AdmissionConfig{Enabled: true, RecoverAfterRounds: 3}),
@@ -520,7 +603,7 @@ func serveFleet(ctx context.Context, o fleetOpts) error {
 				submitMu.Unlock()
 			}
 		}),
-	}
+	)
 	if len(o.shardCores) > 0 {
 		// Heterogeneous fleet: one platform per entry, cores overridden,
 		// plus demand-aware placement so heavy classes steer to the big

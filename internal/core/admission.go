@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"repro/internal/mpsoc"
 	"repro/internal/sched"
 )
 
@@ -75,66 +76,70 @@ const (
 
 // allocate runs stage D2 over the live sessions, escalating the admission
 // ladder until the allocation stops improving. It returns the final
-// allocation and the ids whose queue deadline expired this round (their
-// records are already StateRejected).
-func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
+// allocation, the ids whose queue deadline expired this round (their
+// records are already StateRejected), and the ids pushed down the ladder
+// under priority preemption (ascending).
+func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, []int, error) {
 	byID := make(map[int]*roundSession, len(live))
-	input := func() sched.Input {
-		in := sched.Input{Platform: s.cfg.Platform, FPS: s.cfg.FPS}
-		for _, rs := range live {
-			in.Users = append(in.Users, s.demandOf(rs))
-		}
-		return in
-	}
 	for _, rs := range live {
 		byID[rs.rec.sess.ID] = rs
 	}
 
 	// Allocator memoization: the allocator is a deterministic function of
 	// the roster (who competes, what their tiles cost, which ladder rungs
-	// apply), so when this round's fingerprint matches the previous
-	// round's — and that round admitted everyone, making the ladder a
-	// no-op — the cached result is the answer. Any roster change (join,
-	// depart, retile, QP rung, degrade, rate-halve, migration import)
-	// perturbs the fingerprint and forces a fresh solve. Keys, not raw
-	// durations, represent demand: estimates are pure functions of the
-	// keys given a quiescent LUT, and within a key's calibration drift the
-	// admission decision is stable (DESIGN.md §14).
+	// apply, and — with tenancy — each session's tenant and priority), so
+	// when this round's fingerprint matches the previous round's — and
+	// that round admitted everyone, making the ladder a no-op — the
+	// cached result is the answer. Any roster change (join, depart,
+	// retile, QP rung, degrade, rate-halve, migration import) perturbs
+	// the fingerprint and forces a fresh solve. Keys, not raw durations,
+	// represent demand: estimates are pure functions of the keys given a
+	// quiescent LUT, and within a key's calibration drift the admission
+	// decision is stable (DESIGN.md §14).
 	fp := appendAllocFingerprint(s.fpScratch[:0], live)
 	s.fpScratch = fp
 	if s.allocCached != nil && bytes.Equal(fp, s.allocFP) {
-		return s.finishRound(s.allocCached, byID, live)
+		alloc, timedOut, err := s.finishRound(s.allocCached, byID, live)
+		return alloc, timedOut, nil, err
 	}
 
-	alloc, err := s.cfg.Allocator(input())
+	alloc, err := s.solveTenants(live)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
+	preempted := map[int]bool{}
 	if s.cfg.Admission.Enabled {
 		// One allocator pass per ladder escalation: degrade first, then
 		// QP offsets until MaxQPOffset, then the frame-rate rung. Bounded
 		// by the rung count, so a session that cannot fit at any service
-		// level stops escalating.
+		// level stops escalating. Sessions refused while a strictly
+		// higher-priority session holds admission were displaced by it —
+		// priority-ordered admission seated the newcomer first — so their
+		// escalation is the preemption pushdown and is reported as such.
 		maxPasses := 3 + s.cfg.Admission.MaxQPOffset/s.cfg.Admission.QPOffsetStep
 		for pass := 0; pass < maxPasses && len(alloc.Rejected) > 0; pass++ {
+			topPriority := maxAdmittedPriority(alloc, byID)
 			escalated, demandChanged := false, false
 			for _, id := range alloc.Rejected {
 				rs := byID[id]
 				applied, changed, err := s.escalate(rs)
 				if err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 				if changed {
 					// The degraded configuration changes the session's
 					// grid and/or keys: re-run stage D1 on it.
 					if err := s.estimate(rs); err != nil {
-						return nil, nil, err
+						return nil, nil, nil, err
 					}
 					demandChanged = true
 				}
 				if applied {
 					escalated = true
+					if rs.rec.priority < topPriority {
+						preempted[id] = true
+					}
 				}
 			}
 			if !escalated {
@@ -147,8 +152,8 @@ func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
 				// byte-identical input would just reproduce the rejection.
 				break
 			}
-			if alloc, err = s.cfg.Allocator(input()); err != nil {
-				return nil, nil, err
+			if alloc, err = s.solveTenants(live); err != nil {
+				return nil, nil, nil, err
 			}
 		}
 	}
@@ -163,18 +168,144 @@ func (s *Server) allocate(live []*roundSession) (*sched.Result, []int, error) {
 	} else {
 		s.allocCached = nil
 	}
-	return s.finishRound(alloc, byID, live)
+	var pushed []int
+	for id := range preempted {
+		pushed = append(pushed, id)
+	}
+	sort.Ints(pushed)
+	allocOut, timedOut, err := s.finishRound(alloc, byID, live)
+	return allocOut, timedOut, pushed, err
+}
+
+// maxAdmittedPriority returns the highest priority class among the
+// admitted sessions (0 when none).
+func maxAdmittedPriority(alloc *sched.Result, byID map[int]*roundSession) int {
+	top := 0
+	for _, id := range alloc.Admitted {
+		if p := byID[id].rec.priority; p > top {
+			top = p
+		}
+	}
+	return top
+}
+
+// solveTenants runs one stage-D2 solve over the live roster. With zero or
+// one distinct tenants the allocator sees the whole platform — the
+// historical single-tenant path, byte-identical to the pre-tenancy
+// behavior. With several, platform cores are first apportioned across the
+// tenants by registry weight (work-conserving largest remainder, capped
+// at each tenant's demand — sched.ApportionCores) and each tenant's
+// sessions are solved on their own contiguous core slice: a flooding
+// tenant competes only within its weighted share, so it cannot starve a
+// light one (DESIGN.md §15).
+func (s *Server) solveTenants(live []*roundSession) (*sched.Result, error) {
+	multi := false
+	for _, rs := range live[1:] {
+		if rs.rec.tenant != live[0].rec.tenant {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		in := sched.Input{Platform: s.cfg.Platform, FPS: s.cfg.FPS}
+		for _, rs := range live {
+			in.Users = append(in.Users, s.demandOf(rs))
+		}
+		return s.cfg.Allocator(in)
+	}
+
+	// Group the roster by tenant; tenants solve in sorted-id order so the
+	// core-slice layout is deterministic.
+	users := make(map[string][]sched.UserDemand)
+	var order []string
+	for _, rs := range live {
+		t := rs.rec.tenant
+		if _, ok := users[t]; !ok {
+			order = append(order, t)
+		}
+		users[t] = append(users[t], s.demandOf(rs))
+	}
+	sort.Strings(order)
+	weights := make(map[string]int, len(order))
+	demands := make(map[string]int, len(order))
+	for _, t := range order {
+		weights[t] = 1
+		if s.cfg.Tenancy != nil {
+			weights[t] = s.cfg.Tenancy.Weight(t)
+		}
+		for _, u := range users[t] {
+			demands[t] += u.CoresNeeded(s.cfg.FPS)
+		}
+	}
+	shares := sched.ApportionCores(s.cfg.Platform.Cores, order, weights, demands)
+
+	merged := &sched.Result{
+		Plans:       make([]mpsoc.CorePlan, s.cfg.Platform.Cores),
+		UserCores:   make(map[int]int),
+		DemandCores: make(map[int]int),
+	}
+	offset := 0
+	for _, t := range order {
+		share := shares[t]
+		if share <= 0 {
+			// No entitlement this round: the tenant's sessions are
+			// refused without a solve and take the ladder like any other
+			// refusal.
+			for _, u := range users[t] {
+				merged.Rejected = append(merged.Rejected, u.User)
+				merged.DemandCores[u.User] = u.CoresNeeded(s.cfg.FPS)
+			}
+			continue
+		}
+		sub := *s.cfg.Platform
+		sub.Cores = share
+		r, err := s.cfg.Allocator(sched.Input{Platform: &sub, FPS: s.cfg.FPS, Users: users[t]})
+		if err != nil {
+			return nil, err
+		}
+		merged.Admitted = append(merged.Admitted, r.Admitted...)
+		merged.Rejected = append(merged.Rejected, r.Rejected...)
+		for _, a := range r.Assignments {
+			a.Core += offset
+			merged.Assignments = append(merged.Assignments, a)
+		}
+		copy(merged.Plans[offset:offset+share], r.Plans)
+		merged.CoresUsed += r.CoresUsed
+		for u, n := range r.UserCores {
+			merged.UserCores[u] = n
+		}
+		for u, n := range r.DemandCores {
+			merged.DemandCores[u] = n
+		}
+		offset += share
+	}
+	// Cores beyond the apportioned shares carry no work: power-gated for
+	// the slot, mirroring the allocators' own idle-core plans.
+	for k := offset; k < len(merged.Plans); k++ {
+		merged.Plans[k] = mpsoc.CorePlan{
+			BusyLevel: s.cfg.Platform.MaxLevel(),
+			IdleLevel: s.cfg.Platform.MinLevel(),
+			Gated:     true,
+		}
+	}
+	sort.Ints(merged.Admitted)
+	sort.Ints(merged.Rejected)
+	return merged, nil
 }
 
 // appendAllocFingerprint serializes the roster state the allocator's
 // result depends on: for each live session (in roster order) its id,
-// ladder rung, QP offset, degrade/rate flags, and the per-tile workload
-// keys stage D1 priced. Byte-equal fingerprints mean the allocator would
-// be solving the same problem (modulo within-key calibration drift).
+// tenant, priority class, ladder rung, QP offset, degrade/rate flags,
+// and the per-tile workload keys stage D1 priced. Byte-equal
+// fingerprints mean the allocator would be solving the same problem
+// (modulo within-key calibration drift).
 func appendAllocFingerprint(dst []byte, live []*roundSession) []byte {
 	for _, rs := range live {
 		sess := rs.rec.sess
 		dst = binary.AppendVarint(dst, int64(sess.ID))
+		dst = binary.AppendVarint(dst, int64(len(rs.rec.tenant)))
+		dst = append(dst, rs.rec.tenant...)
+		dst = binary.AppendVarint(dst, int64(rs.rec.priority))
 		dst = binary.AppendVarint(dst, int64(rs.rec.rung))
 		dst = binary.AppendVarint(dst, int64(sess.QPOffset()))
 		var flags byte

@@ -69,6 +69,12 @@ type SessionSnapshot struct {
 	// skip.
 	Rung, Waited int
 	SkipRound    bool
+	// Tenant and Priority carry the session's QoS identity ("" = the
+	// default tenant; priority 0 = best effort) so a migrated or
+	// failed-over session keeps its weighted core share and preemption
+	// class on the target shard.
+	Tenant   string
+	Priority int
 }
 
 // Drain asks the serving loop to stop at the next GOP boundary: Run
@@ -131,6 +137,8 @@ func (s *Server) ExportSessions() ([]*SessionSnapshot, error) {
 			Rung:       rec.rung,
 			Waited:     rec.waited,
 			SkipRound:  rec.skipRound,
+			Tenant:     rec.tenant,
+			Priority:   rec.priority,
 		})
 		rec.state = StateMigrated
 		rec.sess = nil // ownership transferred; a stale reference is a bug
@@ -183,6 +191,8 @@ func (s *Server) ExportSession(id int) (*SessionSnapshot, error) {
 		Rung:       rec.rung,
 		Waited:     rec.waited,
 		SkipRound:  rec.skipRound,
+		Tenant:     rec.tenant,
+		Priority:   rec.priority,
 	}
 	rec.state = StateMigrated
 	rec.sess = nil // ownership transferred; a stale reference is a bug
@@ -218,6 +228,8 @@ func (s *Server) Import(snap *SessionSnapshot) (*Session, error) {
 		skipRound:  snap.SkipRound,
 		imported:   true,
 		lastDemand: snap.Demand,
+		tenant:     snap.Tenant,
+		priority:   snap.Priority,
 	})
 	s.mu.Unlock()
 	s.wake()

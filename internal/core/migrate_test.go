@@ -404,3 +404,56 @@ func TestFailSessionDeadLettersDuringRun(t *testing.T) {
 		t.Fatalf("state %v, want failed", st)
 	}
 }
+
+// TestMigrationCarriesTenantIdentity: a session's QoS identity — tenant
+// and resolved priority class — survives export, the versioned wire
+// encoding, and import, so a migrated emergency session keeps its
+// weighted share and preemption rights on the target shard.
+func TestMigrationCarriesTenantIdentity(t *testing.T) {
+	donor := newMigrationServer(t)
+	if _, err := donor.SubmitWith(speccedSource(t, medgen.Brain, medgen.Rotate, 8),
+		testSessionConfig(ModeProposed), SubmitOptions{Tenant: "er", Priority: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.ServeGOP(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := donor.ExportSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snaps[0]
+	if snap.Tenant != "er" || snap.Priority != 9 {
+		t.Fatalf("snapshot tenant %q priority %d, want er/9", snap.Tenant, snap.Priority)
+	}
+
+	// Across the wire: the JSON encoding carries the identity, and a
+	// restore on the far side reconstructs it.
+	w, err := snap.Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tenant != "er" || w.Priority != 9 {
+		t.Fatalf("wire tenant %q priority %d, want er/9", w.Tenant, w.Priority)
+	}
+	restored, err := w.Restore(bindTestSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Tenant != "er" || restored.Priority != 9 {
+		t.Fatalf("restored tenant %q priority %d, want er/9", restored.Tenant, restored.Priority)
+	}
+
+	target := newMigrationServer(t)
+	if _, err := target.Import(restored); err != nil {
+		t.Fatal(err)
+	}
+	reSnaps, err := target.ExportSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reSnaps[0].Tenant != "er" || reSnaps[0].Priority != 9 {
+		t.Fatalf("re-export tenant %q priority %d, want er/9", reSnaps[0].Tenant, reSnaps[0].Priority)
+	}
+}

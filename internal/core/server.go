@@ -11,6 +11,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/mpsoc"
 	"repro/internal/sched"
+	"repro/internal/tenancy"
 	"repro/internal/workload"
 )
 
@@ -87,6 +88,16 @@ type ServerConfig struct {
 	// workload LUT store (for example one persisted by a previous service
 	// run — see workload.Store.Save/LoadStore) instead of an empty one.
 	Store *workload.Store
+	// Tenancy, when set, is the tenant registry consulted during stage D2:
+	// when live sessions span several tenants, platform cores are first
+	// apportioned across the tenants by registry weight and each tenant's
+	// sessions are solved on their own core share (admission.go), and a
+	// submission's default priority class comes from its tenant's policy.
+	// The registry's token buckets are charged at the outer front doors
+	// (serve.Fleet, dist.Master), not here — a server never refuses a
+	// session the fleet already accepted. Nil means every session belongs
+	// to one default tenant with equal weight: the historical behavior.
+	Tenancy *tenancy.Registry
 }
 
 // SessionState is a session's position in the service lifecycle.
@@ -161,6 +172,12 @@ type sessionRecord struct {
 	// (sched.Result.DemandCores) — the headroom bar its recovery must
 	// clear.
 	lastDemand int
+	// tenant is the owning tenant's id ("" = the default tenant). It
+	// decides which weighted core share the session competes in.
+	tenant string
+	// priority is the session's effective QoS priority class (0 = best
+	// effort; higher admits first and preempts — see admission.go).
+	priority int
 }
 
 // Server serves many transcoding sessions on one platform: each GOP it
@@ -263,12 +280,36 @@ func (s *Server) AddSession(src FrameSource, cfg SessionConfig) (*Session, error
 	return s.Submit(src, cfg)
 }
 
-// Submit enqueues a new session for service: the next round (of Run or
-// ServeGOP) includes it in admission. Safe to call from any goroutine,
-// before or while the server is running; fails after Close.
+// SubmitOptions carries a submission's QoS identity — the per-request
+// half of the unified submit surface (serve.SubmitRequest is the fleet-
+// level struct; these options are its core-layer projection).
+type SubmitOptions struct {
+	// Tenant is the owning tenant's id ("" = the default tenant).
+	Tenant string
+	// Priority is the session's priority class (0 = best effort; higher
+	// admits first and preempts). When 0 and the server has a tenancy
+	// registry, the tenant's default priority applies.
+	Priority int
+}
+
+// Submit enqueues a new session for service under the default tenant:
+// the next round (of Run or ServeGOP) includes it in admission. Safe to
+// call from any goroutine, before or while the server is running; fails
+// after Close.
 func (s *Server) Submit(src FrameSource, cfg SessionConfig) (*Session, error) {
+	return s.SubmitWith(src, cfg, SubmitOptions{})
+}
+
+// SubmitWith is Submit carrying the session's tenant and priority class.
+func (s *Server) SubmitWith(src FrameSource, cfg SessionConfig, opts SubmitOptions) (*Session, error) {
 	if src == nil {
 		return nil, fmt.Errorf("core: nil frame source")
+	}
+	if opts.Tenant == tenancy.DefaultID {
+		opts.Tenant = ""
+	}
+	if s.cfg.Tenancy != nil {
+		opts.Priority = s.cfg.Tenancy.Priority(opts.Tenant, opts.Priority)
 	}
 	cfg.Workers = s.cfg.Workers
 	s.mu.Lock()
@@ -282,7 +323,10 @@ func (s *Server) Submit(src FrameSource, cfg SessionConfig) (*Session, error) {
 		s.mu.Unlock()
 		return nil, err
 	}
-	s.records = append(s.records, &sessionRecord{sess: sess, lut: lut, lastDemand: cfg.DemandHint})
+	s.records = append(s.records, &sessionRecord{
+		sess: sess, lut: lut, lastDemand: cfg.DemandHint,
+		tenant: opts.Tenant, priority: opts.Priority,
+	})
 	s.mu.Unlock()
 	s.wake()
 	s.notifyState(sess.ID, StateQueued, nil)
@@ -395,6 +439,15 @@ type GOPOutcome struct {
 	// round (ascending) — the platform held spare allocation headroom for
 	// them over AdmissionConfig.RecoverAfterRounds consecutive rounds.
 	Recovered []int
+	// Preempted lists sessions the admission ladder pushed down a rung
+	// this round while a strictly higher-priority session held admission
+	// (ascending) — the priority-preemption signal: an emergency arrival
+	// displaced these best-effort sessions instead of being refused.
+	Preempted []int
+	// TenantCores counts the distinct cores allocated to each tenant's
+	// sessions this round ("" = the default tenant) — the per-round
+	// weighted-fairness observable telemetry and tests assert against.
+	TenantCores map[string]int
 	// EstimateErr is the round's mean relative stage-D1 estimation error:
 	// |estimate − measured| / measured averaged over the EstimateTiles
 	// admitted tiles with a positive measurement, where the estimate is
@@ -523,7 +576,7 @@ func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, er
 	}
 
 	// Stage D2 with the admission ladder (admission.go).
-	alloc, timedOut, err := s.allocate(live)
+	alloc, timedOut, preempted, err := s.allocate(live)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -542,10 +595,33 @@ func (s *Server) serveRound(ctx context.Context) (*GOPOutcome, map[int]error, er
 		AdmittedUsers: alloc.Admitted,
 		RejectedUsers: alloc.Rejected,
 		TimedOut:      timedOut,
+		Preempted:     preempted,
 	}
 	byID := make(map[int]*roundSession, len(live))
 	for _, rs := range live {
 		byID[rs.rec.sess.ID] = rs
+	}
+	// Per-tenant core accounting: distinct cores carrying each tenant's
+	// threads this round (tenant partitions never share a core when the
+	// weighted split is active, so the counts are exact shares).
+	out.TenantCores = make(map[string]int)
+	seenCore := make(map[[2]int]bool, alloc.CoresUsed)
+	tenantIdx := make(map[string]int)
+	for _, rs := range live {
+		if _, ok := tenantIdx[rs.rec.tenant]; !ok {
+			tenantIdx[rs.rec.tenant] = len(tenantIdx)
+		}
+	}
+	for _, a := range alloc.Assignments {
+		rs, ok := byID[a.Thread.User]
+		if !ok {
+			continue
+		}
+		k := [2]int{tenantIdx[rs.rec.tenant], a.Core}
+		if !seenCore[k] {
+			seenCore[k] = true
+			out.TenantCores[rs.rec.tenant]++
+		}
 	}
 	var sessErrs map[int]error
 	if s.cfg.Sequential {
@@ -721,7 +797,7 @@ func (s *Server) demandOf(rs *roundSession) sched.UserDemand {
 		}
 		threads[i] = sched.Thread{User: sess.ID, Tile: i, TimeFmax: est}
 	}
-	return sched.UserDemand{User: sess.ID, Threads: threads}
+	return sched.UserDemand{User: sess.ID, Threads: threads, Priority: rs.rec.priority}
 }
 
 // settleRound finalizes a round after the encodes: lifecycle transitions,

@@ -20,6 +20,11 @@ import (
 type Shard interface {
 	// Submit enqueues a session for service (see Server.Submit).
 	Submit(src FrameSource, cfg SessionConfig) (*Session, error)
+	// SubmitWith enqueues a session with explicit tenancy options — the
+	// tenant id and priority class carried by the fleet's SubmitRequest
+	// front door (see Server.SubmitWith). Submit is SubmitWith with the
+	// zero options (default tenant, best-effort priority).
+	SubmitWith(src FrameSource, cfg SessionConfig, opts SubmitOptions) (*Session, error)
 	// Close closes the arrival queue; Run returns once the submitted
 	// sessions reach terminal states.
 	Close()

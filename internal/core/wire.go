@@ -95,18 +95,26 @@ type EncoderWire struct {
 // emits struct fields in declaration order), so encoding is
 // byte-deterministic for a given state.
 type SessionWire struct {
-	Version    int        `json:"version"`
-	Class      string     `json:"class"`
-	DonorID    int        `json:"donor_id"`
-	Frame      int        `json:"frame"`
-	QPOffset   int        `json:"qp_offset"`
-	Degraded   bool       `json:"degraded"`
-	RateHalved bool       `json:"rate_halved"`
-	Demand     int        `json:"demand"`
-	Rung       int        `json:"rung"`
-	Waited     int        `json:"waited"`
-	SkipRound  bool       `json:"skip_round"`
-	Source     SourceSpec `json:"source"`
+	Version    int    `json:"version"`
+	Class      string `json:"class"`
+	DonorID    int    `json:"donor_id"`
+	Frame      int    `json:"frame"`
+	QPOffset   int    `json:"qp_offset"`
+	Degraded   bool   `json:"degraded"`
+	RateHalved bool   `json:"rate_halved"`
+	Demand     int    `json:"demand"`
+	Rung       int    `json:"rung"`
+	Waited     int    `json:"waited"`
+	SkipRound  bool   `json:"skip_round"`
+	// Tenant and Priority carry the session's QoS identity across the
+	// process boundary so a failover re-import keeps its weighted core
+	// share and preemption class. Both default to zero values (the
+	// default tenant, best effort) and are omitted then — an optional
+	// addition under the versioning rules above, so v1 encodings of
+	// default-tenant sessions are byte-unchanged.
+	Tenant   string     `json:"tenant,omitempty"`
+	Priority int        `json:"priority,omitempty"`
+	Source   SourceSpec `json:"source"`
 	// Config is the session's defaulted configuration. TimeModel is
 	// excluded (json:"-"): the receiving server installs its own, and the
 	// model never influences encoded bits.
@@ -214,6 +222,8 @@ func (snap *SessionSnapshot) Wire() (*SessionWire, error) {
 		Rung:       snap.Rung,
 		Waited:     snap.Waited,
 		SkipRound:  snap.SkipRound,
+		Tenant:     snap.Tenant,
+		Priority:   snap.Priority,
 		Source:     spec,
 		Config:     sess.cfg,
 		Encoder:    EncoderWire{Frames: sess.enc.FramesEncoded()},
@@ -289,6 +299,8 @@ func (w *SessionWire) Restore(bind SourceBinder) (*SessionSnapshot, error) {
 		Rung:       w.Rung,
 		Waited:     w.Waited,
 		SkipRound:  w.SkipRound,
+		Tenant:     w.Tenant,
+		Priority:   w.Priority,
 	}
 	if !sess.AtGOPBoundary() {
 		return nil, fmt.Errorf("core: wire frame cursor %d is mid-GOP", w.Frame)
@@ -319,6 +331,8 @@ func (s *Server) CheckpointSessions() ([]*SessionWire, error) {
 			Rung:      rec.rung,
 			Waited:    rec.waited,
 			SkipRound: rec.skipRound,
+			Tenant:    rec.tenant,
+			Priority:  rec.priority,
 		})
 	}
 	s.mu.Unlock()

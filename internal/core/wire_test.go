@@ -290,6 +290,8 @@ func TestSessionSnapshotFieldsCovered(t *testing.T) {
 		"Rung":       "SessionWire.Rung",
 		"Waited":     "SessionWire.Waited",
 		"SkipRound":  "SessionWire.SkipRound",
+		"Tenant":     "SessionWire.Tenant",
+		"Priority":   "SessionWire.Priority",
 	}
 	typ := reflect.TypeOf(SessionSnapshot{})
 	for i := 0; i < typ.NumField(); i++ {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/tenancy"
 	"repro/internal/workload"
 )
 
@@ -337,8 +338,17 @@ func (a *Agent) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bind source: %v", err)
 		return
 	}
-	p, err := a.fleet.Submit(src, req.Config)
+	p, err := a.fleet.SubmitWith(serve.SubmitRequest{
+		Source:   src,
+		Config:   req.Config,
+		Tenant:   req.Tenant,
+		Priority: req.Priority,
+	})
 	if err != nil {
+		if errors.Is(err, tenancy.ErrRateLimited) {
+			httpError(w, http.StatusTooManyRequests, "submit: %v", err)
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "submit: %v", err)
 		return
 	}

@@ -140,3 +140,85 @@ func TestSessionWireVersionPinned(t *testing.T) {
 			core.SessionWireVersion, core.SessionWireVersion)
 	}
 }
+
+// goldenSubmitRequest builds a fully deterministic tenant-tagged
+// submission — the v2 front-door envelope.
+func goldenSubmitRequest(t *testing.T) SubmitRequest {
+	t.Helper()
+	mc := medgen.Default()
+	mc.Width, mc.Height = 192, 144
+	mc.Frames = 8
+	mc.Seed = 7
+	mc.Class = medgen.Brain
+	mc.Motion = medgen.Rotate
+	src, err := NewMedgenSource(mc, "brain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := src.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := core.DefaultSessionConfig()
+	scfg.Codec.GOPSize = 4
+	scfg.Codec.IntraPeriod = 8
+	scfg.Retile.MinTileW, scfg.Retile.MinTileH = 48, 48
+	return SubmitRequest{
+		Version:  ProtocolVersion,
+		Source:   spec,
+		Config:   scfg,
+		Tenant:   "er",
+		Priority: 9,
+	}
+}
+
+// TestSubmitRequestGolden pins the v2 submission envelope byte-for-byte:
+// the tenant id and priority class must survive the wire exactly, and
+// any field added to SubmitRequest (or a type it embeds) without a
+// conscious wire decision shows up as a golden drift.
+func TestSubmitRequestGolden(t *testing.T) {
+	req := goldenSubmitRequest(t)
+	got, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	checkGolden(t, "submit_request_v2.json", got)
+
+	// Round-trip: the golden bytes decode into an identical request.
+	var decoded SubmitRequest
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	back, err := json.MarshalIndent(decoded, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, append(back, '\n')) {
+		t.Fatal("decode → re-encode did not reproduce the golden bytes")
+	}
+	if decoded.Tenant != "er" || decoded.Priority != 9 {
+		t.Fatalf("QoS identity lost on the wire: tenant=%q priority=%d", decoded.Tenant, decoded.Priority)
+	}
+
+	// The zero QoS identity stays off the wire, so a default-tenant v2
+	// submission is byte-identical to its v1 encoding (modulo version).
+	req.Tenant, req.Priority = "", 0
+	plain, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte(`"tenant"`)) || bytes.Contains(plain, []byte(`"priority"`)) {
+		t.Fatal("zero-valued tenant/priority fields leaked into the encoding")
+	}
+}
+
+// TestProtocolVersionPinned: bumping the master↔agent protocol version
+// is a conscious act that must come with a fresh golden file for every
+// versioned request shape.
+func TestProtocolVersionPinned(t *testing.T) {
+	if ProtocolVersion != 2 {
+		t.Fatalf("ProtocolVersion = %d: add a submit_request_v%d.json golden and update this pin",
+			ProtocolVersion, ProtocolVersion)
+	}
+}

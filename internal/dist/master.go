@@ -13,16 +13,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/serve"
+	"repro/internal/tenancy"
 )
 
 // Event is one line of the master's operational journal, delivered to
 // MasterConfig.OnEvent (and serialized to JSONL by cmd/transcode).
 type Event struct {
 	// Kind: "agent_joined", "agent_rejoined", "agent_dead",
-	// "submit_routed", "session_reimported", "session_lost".
+	// "submit_routed", "submit_rate_limited", "session_reimported",
+	// "session_lost".
 	Event string `json:"event"`
 	// Agent is the subject node (the donor on failover events).
 	Agent string `json:"agent,omitempty"`
+	// Tenant is the billing tenant of a routed or refused submission
+	// ("" = the default tenant, omitted).
+	Tenant string `json:"tenant,omitempty"`
 	// To is the receiving node of a routed or re-imported session.
 	To      string `json:"to,omitempty"`
 	Class   string `json:"class,omitempty"`
@@ -43,6 +48,14 @@ type MasterConfig struct {
 	// Client carries every master→agent call (nil = DefaultClient). All
 	// routing and failover traffic goes through its retry schedule.
 	Client *Client
+	// Tenancy is the fleet-wide tenant registry (optional). When set,
+	// the master charges each routed submission to its tenant's token
+	// bucket — the one place a cross-process fleet can enforce a global
+	// per-tenant rate — and answers over-rate submissions with HTTP 429.
+	// Agents keep their own registry for weights and priorities, with
+	// the rates stripped (tenancy.Config.WithoutRates), so a routed
+	// submission is charged exactly once.
+	Tenancy *tenancy.Registry
 	// OnEvent receives the operational journal (optional). Called from
 	// master goroutines, serialized by an internal lock.
 	OnEvent func(Event)
@@ -428,6 +441,13 @@ func (m *Master) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "protocol version %d, want %d", req.Version, ProtocolVersion)
 		return
 	}
+	if m.cfg.Tenancy != nil {
+		if err := m.cfg.Tenancy.Admit(req.Tenant); err != nil {
+			m.emit(Event{Event: "submit_rate_limited", Tenant: req.Tenant, Class: req.Source.Class})
+			httpError(w, http.StatusTooManyRequests, "route submit: %v", err)
+			return
+		}
+	}
 	var lastErr error
 	for _, target := range m.candidatesFor(req.Source.Class) {
 		var resp SubmitResponse
@@ -435,7 +455,7 @@ func (m *Master) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			lastErr = err
 			continue
 		}
-		m.emit(Event{Event: "submit_routed", To: target.name, Class: req.Source.Class, Session: resp.Session})
+		m.emit(Event{Event: "submit_routed", To: target.name, Tenant: req.Tenant, Class: req.Source.Class, Session: resp.Session})
 		writeJSON(w, http.StatusOK, RoutedSubmitResponse{Agent: target.name, Shard: resp.Shard, Session: resp.Session})
 		return
 	}

@@ -12,7 +12,15 @@ import (
 // harmless zero value is a compatible change and keeps the version.
 // Peers reject versions they do not know — a mixed-version fleet must
 // fail loudly at the front door, not corrupt sessions mid-migration.
-const ProtocolVersion = 1
+//
+// Version history:
+//
+//	1 — initial protocol.
+//	2 — SubmitRequest carries the tenant id and priority class
+//	    (multi-tenant QoS). The fields are zero-default, but a v1 peer
+//	    routing a tenant-tagged submission would silently strip its QoS
+//	    identity — a meaning change, hence the bump.
+const ProtocolVersion = 2
 
 // Agent endpoints (all JSON bodies):
 //
@@ -38,11 +46,17 @@ type HealthResponse struct {
 }
 
 // SubmitRequest opens a new session: the source is shipped as a spec
-// (never as pixels) and re-opened by the serving agent's binder.
+// (never as pixels) and re-opened by the serving agent's binder. Since
+// v2 it also carries the session's QoS identity — the tenant the
+// session bills to ("" = the default tenant) and its priority class
+// (0 = best effort) — which the receiving agent hands to its fleet's
+// SubmitWith front door.
 type SubmitRequest struct {
-	Version int                `json:"version"`
-	Source  core.SourceSpec    `json:"source"`
-	Config  core.SessionConfig `json:"config"`
+	Version  int                `json:"version"`
+	Source   core.SourceSpec    `json:"source"`
+	Config   core.SessionConfig `json:"config"`
+	Tenant   string             `json:"tenant,omitempty"`
+	Priority int                `json:"priority,omitempty"`
 }
 
 // SubmitResponse reports where an agent placed a submission.

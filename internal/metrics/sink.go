@@ -21,6 +21,11 @@ type SinkConfig struct {
 	// classes come from user input, and an unbounded label is how a
 	// metrics endpoint becomes a memory leak. 0 selects the default 32.
 	MaxClasses int
+	// MaxTenants bounds the tenant label the same way: the first
+	// MaxTenants distinct tenant ids keep their names, later ones fold
+	// into "other". The default tenant exports as "default". 0 selects
+	// the default 32.
+	MaxTenants int
 	// QoEAlpha is the EWMA weight of the newest GOP's QoE sample in the
 	// per-(shard, class) qoe_score gauge, clamped to (0, 1]. 0 selects
 	// the default 0.25.
@@ -83,11 +88,12 @@ func withAgent(agent, lv []string) []string {
 type Sink struct {
 	serve.NopSink // session-scoped events we consume are overridden below
 
-	reg      *Registry
-	cost     CostModel
-	alpha    float64
-	maxClass int
-	agent    []string // nil, or the one constant "agent" label value
+	reg       *Registry
+	cost      CostModel
+	alpha     float64
+	maxClass  int
+	maxTenant int
+	agent     []string // nil, or the one constant "agent" label value
 
 	// classOf maps (shard, session) → folded class label; classes is the
 	// bounded set of label values handed out so far. doomed marks
@@ -98,6 +104,14 @@ type Sink struct {
 	classOf map[[2]int]string
 	classes map[string]bool
 	doomed  map[[2]int]bool
+	// tenantOf and tenants mirror classOf/classes for the tenant label
+	// (learned from placement events, moved by migrations, pruned with
+	// doomed). tenantSeen remembers which tenant labels each shard's
+	// cores gauge has exported, so a tenant that leaves a shard reads 0
+	// instead of its stale last grant.
+	tenantOf   map[[2]int]string
+	tenants    map[string]bool
+	tenantSeen map[string]map[string]bool
 	// qoe holds the per-(shard, class) EWMA state behind the gauge.
 	qoe map[[2]string]float64
 	// prevCost tracks each shard's last priced cumulative cost, so the
@@ -117,17 +131,21 @@ type Sink struct {
 	misses        counter
 	costDollars   counter
 	classCost     counter
+	tenantGops    counter
+	tenantCost    counter
+	preemptions   counter
 
-	sessions  gauge
-	demand    gauge
-	capacity  gauge
-	util      gauge
-	coresUsed gauge
-	avgPower  gauge
-	peakPower gauge
-	ladder    gauge
-	liveNow   gauge
-	qoeGauge  gauge
+	sessions    gauge
+	demand      gauge
+	capacity    gauge
+	util        gauge
+	coresUsed   gauge
+	avgPower    gauge
+	peakPower   gauge
+	ladder      gauge
+	liveNow     gauge
+	qoeGauge    gauge
+	tenantCores gauge
 
 	estErr histogram
 	psnr   histogram
@@ -142,19 +160,26 @@ func NewSink(cfg SinkConfig) *Sink {
 	if cfg.MaxClasses <= 0 {
 		cfg.MaxClasses = 32
 	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 32
+	}
 	if !(cfg.QoEAlpha > 0) || cfg.QoEAlpha > 1 { // NaN-safe
 		cfg.QoEAlpha = 0.25
 	}
 	s := &Sink{
-		reg:      reg,
-		cost:     cfg.Cost,
-		alpha:    cfg.QoEAlpha,
-		maxClass: cfg.MaxClasses,
-		classOf:  make(map[[2]int]string),
-		classes:  make(map[string]bool),
-		doomed:   make(map[[2]int]bool),
-		qoe:      make(map[[2]string]float64),
-		prevCost: make(map[int]float64),
+		reg:        reg,
+		cost:       cfg.Cost,
+		alpha:      cfg.QoEAlpha,
+		maxClass:   cfg.MaxClasses,
+		maxTenant:  cfg.MaxTenants,
+		classOf:    make(map[[2]int]string),
+		classes:    make(map[string]bool),
+		doomed:     make(map[[2]int]bool),
+		tenantOf:   make(map[[2]int]string),
+		tenants:    make(map[string]bool),
+		tenantSeen: make(map[string]map[string]bool),
+		qoe:        make(map[[2]string]float64),
+		prevCost:   make(map[int]float64),
 	}
 	if cfg.Agent != "" {
 		s.agent = []string{cfg.Agent}
@@ -184,6 +209,9 @@ func NewSink(cfg SinkConfig) *Sink {
 	s.misses = ctr("repro_deadline_misses_total", "Cumulative frame-deadline misses per shard (exact mpsoc ledger).", "shard")
 	s.costDollars = ctr("repro_cost_dollars_total", "Cumulative operating cost per shard under the cost model.", "shard")
 	s.classCost = ctr("repro_class_cost_dollars_total", "Operating cost attributed to workload classes by encode-time share.", "class")
+	s.tenantGops = ctr("repro_tenant_gops_total", "GOPs served, by tenant.", "tenant")
+	s.tenantCost = ctr("repro_tenant_cost_dollars_total", "Operating cost attributed to tenants by encode-time share.", "tenant")
+	s.preemptions = ctr("repro_preemptions_total", "Ladder pushdowns inflicted on lower-priority sessions to seat higher-priority arrivals, by shard and victim tenant.", "shard", "tenant")
 
 	s.sessions = gge("repro_sessions", "Live sessions per shard.", "shard")
 	s.demand = gge("repro_demand_cores", "Summed core demand of live sessions per shard.", "shard")
@@ -195,6 +223,7 @@ func NewSink(cfg SinkConfig) *Sink {
 	s.ladder = gge("repro_ladder_sessions", "Live sessions per admission-ladder rung, as of each shard's last round.", "shard", "rung")
 	s.liveNow = gge("repro_live_shards", "Routable shards after the last membership change.")
 	s.qoeGauge = gge("repro_qoe_score", "EWMA QoE score per shard and class (1 = transparent full-rate service).", "shard", "class")
+	s.tenantCores = gge("repro_tenant_cores", "Cores granted to each tenant by the shard's last settled round (weighted apportionment).", "shard", "tenant")
 
 	s.estErr = hst("repro_estimate_error",
 		"Per-round mean relative stage-D1 estimation error.",
@@ -233,6 +262,22 @@ func (s *Sink) classLabel(class string) string {
 	return class
 }
 
+// tenantLabel folds a raw tenant id into the bounded label set. The
+// default tenant ("" on the wire) exports as "default".
+func (s *Sink) tenantLabel(tenant string) string {
+	if tenant == "" || tenant == "default" {
+		return "default"
+	}
+	if s.tenants[tenant] {
+		return tenant
+	}
+	if len(s.tenants) >= s.maxTenant {
+		return "other"
+	}
+	s.tenants[tenant] = true
+	return tenant
+}
+
 func shardLabel(shard int) string { return strconv.Itoa(shard) }
 
 // rungName classifies a session's ladder position into the fixed rung
@@ -256,7 +301,9 @@ var rungNames = []string{"none", "degraded-tiling", "qp-offset", "rate-halved"}
 func (s *Sink) OnSessionPlaced(e serve.PlacementEvent) {
 	shard := shardLabel(e.Shard)
 	s.placements.Add(1, shard)
-	s.classOf[[2]int{e.Shard, e.Session}] = s.classLabel(e.Class)
+	key := [2]int{e.Shard, e.Session}
+	s.classOf[key] = s.classLabel(e.Class)
+	s.tenantOf[key] = s.tenantLabel(e.Tenant)
 }
 
 func (s *Sink) OnSessionStateChange(e serve.SessionEvent) {
@@ -277,6 +324,17 @@ func (s *Sink) OnGOP(e serve.GOPEvent) {
 	s.gops.Add(1, shard, class)
 	s.frames.Add(float64(len(e.GOP.Frames)), shard, class)
 	s.psnr.Observe(e.GOP.MeanPSNR, shard, class)
+	s.tenantGops.Add(1, s.sessionTenant(e.Shard, e.Session))
+}
+
+// sessionTenant looks up a session's folded tenant label, falling back
+// to "other" for sessions the sink never saw placed (the same honesty
+// rule as the class label).
+func (s *Sink) sessionTenant(shard, session int) string {
+	if t := s.tenantOf[[2]int{shard, session}]; t != "" {
+		return t
+	}
+	return "other"
 }
 
 func (s *Sink) OnRoundMetrics(e serve.RoundEvent) {
@@ -316,6 +374,28 @@ func (s *Sink) OnRoundMetrics(e serve.RoundEvent) {
 		s.ladder.Set(float64(depth[rung]), shard, rung)
 	}
 
+	// Per-tenant core grants: zero every label this shard ever exported
+	// first, so a tenant that left the shard reads 0 instead of its
+	// stale last grant.
+	seen := s.tenantSeen[shard]
+	for t := range seen {
+		s.tenantCores.Set(0, shard, t)
+	}
+	for t, c := range out.TenantCores {
+		label := s.tenantLabel(t)
+		if seen == nil {
+			seen = make(map[string]bool)
+			s.tenantSeen[shard] = seen
+		}
+		seen[label] = true
+		s.tenantCores.Set(float64(c), shard, label)
+	}
+
+	// Priority preemptions, attributed to the victim's tenant.
+	for _, id := range out.Preempted {
+		s.preemptions.Add(1, shard, s.sessionTenant(e.Shard, id))
+	}
+
 	// Per-GOP QoE and the per-class attribution of this round's cost
 	// delta, both in ascending session id so EWMA state is reproducible.
 	ids := make([]int, 0, len(out.GOPs))
@@ -345,6 +425,7 @@ func (s *Sink) OnRoundMetrics(e serve.RoundEvent) {
 			share = gop.CPUTime.Seconds() / totalCPU
 		}
 		s.classCost.Add(costDelta*share, class)
+		s.tenantCost.Add(costDelta*share, s.sessionTenant(e.Shard, id))
 
 		ls := out.Ladder[id]
 		score := QoEScore(QoEInput{
@@ -369,6 +450,7 @@ func (s *Sink) OnRoundMetrics(e serve.RoundEvent) {
 	for k := range s.doomed {
 		if k[0] == e.Shard {
 			delete(s.classOf, k)
+			delete(s.tenantOf, k)
 			delete(s.doomed, k)
 		}
 	}
@@ -394,12 +476,16 @@ func (s *Sink) OnSessionRebalanced(e serve.MigrationEvent) {
 	s.moveClass(e)
 }
 
-// moveClass rebinds a migrated session's class to its new (shard, id).
+// moveClass rebinds a migrated session's class and tenant to its new
+// (shard, id).
 func (s *Sink) moveClass(e serve.MigrationEvent) {
 	from := [2]int{e.FromShard, e.FromSession}
 	delete(s.classOf, from)
+	delete(s.tenantOf, from)
 	delete(s.doomed, from)
-	s.classOf[[2]int{e.ToShard, e.ToSession}] = s.classLabel(e.Class)
+	to := [2]int{e.ToShard, e.ToSession}
+	s.classOf[to] = s.classLabel(e.Class)
+	s.tenantOf[to] = s.tenantLabel(e.Tenant)
 }
 
 var _ serve.Sink = (*Sink)(nil)

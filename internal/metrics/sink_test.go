@@ -391,3 +391,48 @@ func TestExporterAgentLabel(t *testing.T) {
 		t.Fatalf("repro_rounds_total = %v, want >= 1", got)
 	}
 }
+
+// TestExporterBoundsTenantCardinality: a flood of distinct tenant ids
+// must not grow the tenant label without bound — ids past MaxTenants
+// fold into "other", and the fold loses no per-tenant GOP accounting.
+func TestExporterBoundsTenantCardinality(t *testing.T) {
+	sink := NewSink(SinkConfig{MaxTenants: 2})
+	ring := serve.NewRingSink(64)
+	f, err := serve.New(serve.WithShards(1), serve.WithSink(ring), serve.WithMetrics(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := f.SubmitWith(serve.SubmitRequest{
+			Source: testSource(t, "brain", int64(i+1), 4),
+			Config: testSessionConfig(),
+			Tenant: fmt.Sprintf("tenant-%d", i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sink.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	tenants := map[string]bool{}
+	for _, s := range samples {
+		if s.name == "repro_tenant_gops_total" {
+			tenants[s.labels["tenant"]] = true
+		}
+	}
+	if len(tenants) > 3 { // 2 named + "other"
+		t.Fatalf("tenant label grew to %d values under a MaxTenants of 2: %v", len(tenants), tenants)
+	}
+	if !tenants["other"] {
+		t.Fatalf("flood tenants were not folded into \"other\": %v", tenants)
+	}
+	if got, want := sum(samples, "repro_tenant_gops_total", nil), float64(ring.Report(-1).GOPReports); got != want {
+		t.Fatalf("folding lost per-tenant GOPs: exported %v, ring %v", got, want)
+	}
+}

@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mpsoc"
+)
+
+func TestApportionCoresWeighted(t *testing.T) {
+	cases := []struct {
+		name   string
+		total  int
+		order  []string
+		weight map[string]int
+		demand map[string]int
+		want   map[string]int
+	}{
+		{
+			name:   "saturated 3:1 split",
+			total:  8,
+			order:  []string{"heavy", "light"},
+			weight: map[string]int{"heavy": 3, "light": 1},
+			demand: map[string]int{"heavy": 10, "light": 10},
+			want:   map[string]int{"heavy": 6, "light": 2},
+		},
+		{
+			name:   "work conserving: light surplus flows to heavy",
+			total:  8,
+			order:  []string{"heavy", "light"},
+			weight: map[string]int{"heavy": 3, "light": 1},
+			demand: map[string]int{"heavy": 10, "light": 1},
+			want:   map[string]int{"heavy": 7, "light": 1},
+		},
+		{
+			name:   "under-loaded platform grants every demand",
+			total:  32,
+			order:  []string{"a", "b", "c"},
+			weight: map[string]int{"a": 1, "b": 1, "c": 1},
+			demand: map[string]int{"a": 3, "b": 5, "c": 2},
+			want:   map[string]int{"a": 3, "b": 5, "c": 2},
+		},
+		{
+			name:   "largest remainder breaks ties in order",
+			total:  3,
+			order:  []string{"a", "b"},
+			weight: map[string]int{"a": 1, "b": 1},
+			demand: map[string]int{"a": 10, "b": 10},
+			want:   map[string]int{"a": 2, "b": 1},
+		},
+		{
+			name:   "more tenants than cores still makes progress",
+			total:  2,
+			order:  []string{"a", "b", "c", "d"},
+			weight: map[string]int{"a": 1, "b": 1, "c": 1, "d": 1},
+			demand: map[string]int{"a": 1, "b": 1, "c": 1, "d": 1},
+			want:   map[string]int{"a": 1, "b": 1},
+		},
+		{
+			name:   "single tenant takes the platform",
+			total:  8,
+			order:  []string{"only"},
+			weight: map[string]int{"only": 7},
+			demand: map[string]int{"only": 20},
+			want:   map[string]int{"only": 8},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ApportionCores(tc.total, tc.order, tc.weight, tc.demand)
+			// Drop zero shares for comparison symmetry.
+			for k, v := range got {
+				if v == 0 {
+					delete(got, k)
+				}
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ApportionCores = %v, want %v", got, tc.want)
+			}
+			sum := 0
+			for _, v := range got {
+				sum += v
+			}
+			if sum > tc.total {
+				t.Fatalf("shares sum %d exceeds total %d", sum, tc.total)
+			}
+		})
+	}
+}
+
+func TestAdmitPriorityFirst(t *testing.T) {
+	// Three best-effort users fill a 3-core platform; a priority-9 user
+	// with the same demand displaces one of them instead of queueing.
+	p := mpsoc.XeonE5_2667V4()
+	p.Cores = 3
+	mk := func(id, pri int) UserDemand {
+		u := demand(id, ms(40)) // ~1 core at 24 fps
+		u.Priority = pri
+		return u
+	}
+	in := Input{Platform: p, FPS: 24, Users: []UserDemand{mk(0, 0), mk(1, 0), mk(2, 0), mk(3, 9)}}
+	res, err := AllocateContentAware(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsID(res.Admitted, 3) {
+		t.Fatalf("priority user rejected: admitted=%v rejected=%v", res.Admitted, res.Rejected)
+	}
+	if !containsID(res.Rejected, 2) {
+		t.Fatalf("expected newest best-effort user displaced: admitted=%v rejected=%v", res.Admitted, res.Rejected)
+	}
+
+	// All-zero priorities reproduce the historical pure ascending order.
+	in.Users[3].Priority = 0
+	res, err = AllocateContentAware(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Admitted, []int{0, 1, 2}) {
+		t.Fatalf("zero-priority admitted = %v, want [0 1 2]", res.Admitted)
+	}
+}

@@ -33,6 +33,14 @@ type Thread struct {
 type UserDemand struct {
 	User    int
 	Threads []Thread
+	// Priority is the user's QoS priority class (0 = best effort; higher
+	// preempts). Admission considers priority before core demand, so a
+	// higher-priority user displaces best-effort users on a full platform
+	// instead of queueing behind them — the serving layer's admission
+	// ladder then pushes the displaced users down the degradation rungs
+	// (priority preemption, DESIGN.md §15). All-zero priorities reproduce
+	// the paper's pure ascending-demand order exactly.
+	Priority int
 }
 
 // TotalTime returns the summed CPU time of the user's threads.
@@ -297,17 +305,23 @@ func AllocateBaseline(in Input) (*Result, error) {
 	nc := in.Platform.Cores
 	res := &Result{Plans: make([]mpsoc.CorePlan, nc)}
 
-	// Admit in ascending thread-count order (the analogue of line 2).
+	// Admit in ascending thread-count order (the analogue of line 2),
+	// higher priority classes first — the same preemption-enabling order
+	// admitAscending applies to the content-aware family.
 	order := make([]int, len(in.Users))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		da, db := len(in.Users[order[a]].Threads), len(in.Users[order[b]].Threads)
+		ua, ub := in.Users[order[a]], in.Users[order[b]]
+		if ua.Priority != ub.Priority {
+			return ua.Priority > ub.Priority
+		}
+		da, db := len(ua.Threads), len(ub.Threads)
 		if da != db {
 			return da < db
 		}
-		return in.Users[order[a]].User < in.Users[order[b]].User
+		return ua.User < ub.User
 	})
 	res.DemandCores = make(map[int]int, len(in.Users))
 	for _, u := range in.Users {
@@ -411,18 +425,23 @@ func containsID(ids []int, v int) bool {
 }
 
 // admitAscending shares Algorithm 2's admission step (ascending core
-// demand) and returns the admitted thread pool in LPT order.
+// demand, higher priority classes first) and returns the admitted thread
+// pool in LPT order.
 func admitAscending(in Input, res *Result) ([]Thread, error) {
 	order := make([]int, len(in.Users))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		da, db := in.Users[order[a]].CoresNeeded(in.FPS), in.Users[order[b]].CoresNeeded(in.FPS)
+		ua, ub := in.Users[order[a]], in.Users[order[b]]
+		if ua.Priority != ub.Priority {
+			return ua.Priority > ub.Priority
+		}
+		da, db := ua.CoresNeeded(in.FPS), ub.CoresNeeded(in.FPS)
 		if da != db {
 			return da < db
 		}
-		return in.Users[order[a]].User < in.Users[order[b]].User
+		return ua.User < ub.User
 	})
 	budget := in.Platform.Cores
 	var pool []Thread

@@ -230,6 +230,7 @@ func (f *Fleet) shedLoad(s *shardState, donor core.LoadReport, meanUtil float64,
 			ToSession:   sess.ID,
 			Class:       snap.Class,
 			Frame:       snap.Frame,
+			Tenant:      snap.Tenant,
 		})
 		// Wake or revive the adopter: a closed fleet drains shards as they
 		// empty, so an idle target may have no supervisor anymore.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mpsoc"
 	"repro/internal/sched"
+	"repro/internal/tenancy"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,7 @@ type options struct {
 	admission   core.AdmissionConfig
 	calibration core.CalibrationConfig
 	timeScale   float64
+	tenancy     *tenancy.Registry
 
 	autoscale *AutoscaleConfig
 	rebalance *RebalanceConfig
@@ -147,6 +149,24 @@ func WithRegistry(r *sched.Registry) Option {
 // every shard.
 func WithAdmission(cfg core.AdmissionConfig) Option {
 	return func(o *options) { o.admission = cfg }
+}
+
+// WithTenancy installs a tenant registry as the fleet's QoS policy
+// (DESIGN.md §15): SubmitWith charges the submitting tenant's token
+// bucket (over-rate submissions fail with tenancy.ErrRateLimited) and
+// resolves its default priority class, and every shard's allocator
+// apportions its platform's cores across the tenants it is serving in
+// proportion to their registry weights before the per-session solve.
+// Without the option every session belongs to the default tenant and
+// the fleet behaves exactly as before.
+func WithTenancy(reg *tenancy.Registry) Option {
+	return func(o *options) {
+		if reg == nil {
+			o.errs = append(o.errs, errors.New("serve: nil tenancy registry"))
+			return
+		}
+		o.tenancy = reg
+	}
 }
 
 // WithCalibration enables/configures measurement-calibrated estimation
@@ -433,6 +453,7 @@ func (f *Fleet) newShardState(index int, platform *mpsoc.Platform, allocName str
 		TimeScale:   f.opts.timeScale,
 		Calibration: f.opts.calibration,
 		Admission:   f.opts.admission,
+		Tenancy:     f.opts.tenancy,
 		Store:       store,
 		OnRound: func(out *core.GOPOutcome) {
 			f.dispatchRound(shard, out)
@@ -553,19 +574,65 @@ type Placement struct {
 	Session *core.Session
 }
 
-// Submit routes a session to its class's home shard, falling back to the
-// lowest-utilization shard when the home shard is saturated
+// SubmitRequest is the one submission envelope of the service front
+// door: the video source, its session configuration, and the QoS
+// identity — which tenant the session bills to and what priority class
+// it competes at. The zero values mean "the default tenant, best
+// effort", so SubmitRequest{Source: src, Config: cfg} is exactly the
+// old two-argument Submit.
+type SubmitRequest struct {
+	// Source is the session's frame source (required).
+	Source core.FrameSource
+	// Config is the session's encoding configuration.
+	Config core.SessionConfig
+	// Tenant is the submitting tenant's id ("" or tenancy.DefaultID for
+	// the default tenant). With WithTenancy, admission is charged to
+	// this tenant's token bucket and its registry weight shapes its
+	// core share on every shard.
+	Tenant string
+	// Priority is the session's priority class (0 = best effort; higher
+	// admits first and preempts lower classes under overload). With
+	// WithTenancy, 0 is resolved to the tenant's registered default.
+	Priority int
+}
+
+// Submit routes a session to its class's home shard for the default
+// tenant at best-effort priority — the historical two-argument front
+// door, kept for callers that predate multi-tenant QoS.
+//
+// Deprecated: use SubmitWith, which carries the tenant id and priority
+// class in a SubmitRequest. Submit(src, cfg) is exactly
+// SubmitWith(SubmitRequest{Source: src, Config: cfg}).
+func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement, error) {
+	return f.SubmitWith(SubmitRequest{Source: src, Config: cfg})
+}
+
+// SubmitWith routes a session to its class's home shard, falling back to
+// the lowest-utilization shard when the home shard is saturated
 // (WithShardCapacity), dead, draining, or refuses the submission. With
 // WithDemandPlacement the session's estimated core demand steers the
 // order instead (see placeOrder) and rides into the landing shard's
-// LoadReport as the session's demand hint. Safe from any goroutine,
-// including round hooks — but not from Sink methods, which run under the
-// sink dispatch lock that Submit's own state notification needs (see the
-// Sink contract). Fails when every shard refuses.
-func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement, error) {
+// LoadReport as the session's demand hint. With WithTenancy the
+// request's tenant is charged one token first — an over-rate tenant's
+// submission fails with tenancy.ErrRateLimited before any shard is
+// touched — and the session competes at its resolved priority on the
+// landing shard. Safe from any goroutine, including round hooks — but
+// not from Sink methods, which run under the sink dispatch lock that
+// SubmitWith's own state notification needs (see the Sink contract).
+// Fails when every shard refuses.
+func (f *Fleet) SubmitWith(req SubmitRequest) (Placement, error) {
+	src := req.Source
 	if src == nil {
 		return Placement{}, errors.New("serve: nil frame source")
 	}
+	priority := req.Priority
+	if f.opts.tenancy != nil {
+		if err := f.opts.tenancy.Admit(req.Tenant); err != nil {
+			return Placement{}, fmt.Errorf("serve: submit: %w", err)
+		}
+		priority = f.opts.tenancy.Priority(req.Tenant, req.Priority)
+	}
+	cfg := req.Config
 	demand := f.estimateDemand(src)
 	if demand > 0 && cfg.DemandHint == 0 {
 		cfg.DemandHint = demand
@@ -573,11 +640,20 @@ func (f *Fleet) Submit(src core.FrameSource, cfg core.SessionConfig) (Placement,
 	f.mu.Lock()
 	home := f.ring.shardFor(src.Class())
 	f.mu.Unlock()
+	opts := core.SubmitOptions{Tenant: req.Tenant, Priority: priority}
 	var lastErr error
 	for _, si := range f.placeOrder(home, demand) {
-		sess, err := f.shardAt(si).srv.Submit(src, cfg)
+		sess, err := f.shardAt(si).srv.SubmitWith(src, cfg, opts)
 		if err == nil {
-			e := PlacementEvent{Shard: si, Home: home, Session: sess.ID, Class: src.Class(), DemandCores: demand}
+			e := PlacementEvent{
+				Shard:       si,
+				Home:        home,
+				Session:     sess.ID,
+				Class:       src.Class(),
+				DemandCores: demand,
+				Tenant:      req.Tenant,
+				Priority:    priority,
+			}
 			if e.DemandCores < 1 {
 				e.DemandCores = 1
 			}
@@ -920,6 +996,7 @@ func (f *Fleet) finishDrain(s *shardState, sr *ShardReport, ctx context.Context)
 				ToSession:   sess.ID,
 				Class:       snap.Class,
 				Frame:       snap.Frame,
+				Tenant:      snap.Tenant,
 			})
 			targets[ti] = true
 			placed = true

@@ -57,6 +57,11 @@ type PlacementEvent struct {
 	// DemandCores is the placement-time core-demand estimate (1 when
 	// demand-aware placement is off).
 	DemandCores int
+	// Tenant is the submitting tenant's id as given to SubmitWith ("" =
+	// the default tenant); Priority is the resolved priority class the
+	// session competes at.
+	Tenant   string
+	Priority int
 }
 
 // ShardEvent reports a fleet membership change (Resize).
@@ -82,6 +87,10 @@ type MigrationEvent struct {
 	// Frame is the session's next-frame cursor — the GOP boundary it
 	// migrated at.
 	Frame int
+	// Tenant is the session's tenant id ("" = the default tenant) — the
+	// QoS identity that rode along in the snapshot, so a sink keeping
+	// per-tenant books can move the session between shards too.
+	Tenant string
 }
 
 // Sink receives the fleet's streaming telemetry. It replaces the
@@ -723,6 +732,7 @@ type jsonlRound struct {
 	Rejected    []int   `json:"rejected,omitempty"`
 	TimedOut    []int   `json:"timed_out,omitempty"`
 	Recovered   []int   `json:"recovered,omitempty"`
+	Preempted   []int   `json:"preempted,omitempty"`
 	CoresUsed   int     `json:"cores_used"`
 	AvgPowerW   float64 `json:"avg_power_w"`
 	EstimateErr float64 `json:"estimate_err,omitempty"`
@@ -730,15 +740,20 @@ type jsonlRound struct {
 	Demand      int     `json:"demand_cores"`
 	Capacity    int     `json:"capacity_cores"`
 	Util        float64 `json:"util"`
+	// TenantCores breaks the round's core grant down by tenant id
+	// (omitted on single-tenant rounds where it carries no information).
+	TenantCores map[string]int `json:"tenant_cores,omitempty"`
 }
 
 type jsonlPlacement struct {
-	Event   string `json:"event"` // "session_placed"
-	Shard   int    `json:"shard"`
-	Session int    `json:"session"`
-	Class   string `json:"class"`
-	Home    int    `json:"home"`
-	Demand  int    `json:"demand_cores"`
+	Event    string `json:"event"` // "session_placed"
+	Shard    int    `json:"shard"`
+	Session  int    `json:"session"`
+	Class    string `json:"class"`
+	Home     int    `json:"home"`
+	Demand   int    `json:"demand_cores"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 }
 
 type jsonlShard struct {
@@ -755,6 +770,7 @@ type jsonlMigration struct {
 	ToSession   int    `json:"to_session"`
 	Class       string `json:"class"`
 	Frame       int    `json:"frame"`
+	Tenant      string `json:"tenant,omitempty"`
 }
 
 func (s *JSONLSink) OnGOP(e GOPEvent) {
@@ -788,6 +804,22 @@ func (s *JSONLSink) OnSessionStateChange(e SessionEvent) {
 
 func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
 	out := e.Outcome
+	// The per-tenant core breakdown only earns its bytes when a named
+	// tenant is in play; the default-tenant-only map is implied by
+	// cores_used. The "" key is spelled out as "default" on the wire.
+	var tenantCores map[string]int
+	for t, c := range out.TenantCores {
+		if t == "" && len(out.TenantCores) == 1 {
+			break
+		}
+		if tenantCores == nil {
+			tenantCores = make(map[string]int, len(out.TenantCores))
+		}
+		if t == "" {
+			t = "default"
+		}
+		tenantCores[t] = c
+	}
 	s.emit(jsonlRound{
 		Event:       "round",
 		Shard:       e.Shard,
@@ -796,6 +828,8 @@ func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
 		Rejected:    out.RejectedUsers,
 		TimedOut:    out.TimedOut,
 		Recovered:   out.Recovered,
+		Preempted:   out.Preempted,
+		TenantCores: tenantCores,
 		CoresUsed:   out.Allocation.CoresUsed,
 		AvgPowerW:   finiteOr0(out.Energy.AvgPowerW),
 		EstimateErr: finiteOr0(out.EstimateErr),
@@ -808,12 +842,14 @@ func (s *JSONLSink) OnRoundMetrics(e RoundEvent) {
 
 func (s *JSONLSink) OnSessionPlaced(e PlacementEvent) {
 	s.emit(jsonlPlacement{
-		Event:   "session_placed",
-		Shard:   e.Shard,
-		Session: e.Session,
-		Class:   e.Class,
-		Home:    e.Home,
-		Demand:  e.DemandCores,
+		Event:    "session_placed",
+		Shard:    e.Shard,
+		Session:  e.Session,
+		Class:    e.Class,
+		Home:     e.Home,
+		Demand:   e.DemandCores,
+		Tenant:   e.Tenant,
+		Priority: e.Priority,
 	})
 }
 
@@ -842,5 +878,6 @@ func (s *JSONLSink) emitMigration(event string, e MigrationEvent) {
 		ToSession:   e.ToSession,
 		Class:       e.Class,
 		Frame:       e.Frame,
+		Tenant:      e.Tenant,
 	})
 }
